@@ -1,0 +1,24 @@
+"""E5 — the line-vs-DMA delivery crossover (Section 6: ~4 KiB)."""
+
+from repro.experiments.crossover import run_crossover
+
+
+def test_crossover(once):
+    points, crossover = once(run_crossover)
+    by_size = {p.payload_bytes: p for p in points}
+
+    # Small messages: the cache-line path wins (that's the fast path).
+    assert not by_size[64].dma_wins
+    assert not by_size[512].dma_wins
+    # Large messages: DMA wins (throughput dominates).
+    assert by_size[16384].dma_wins
+    # The crossover falls in the paper's regime (~4 KiB on Enzian;
+    # we accept the same order of magnitude: 1-8 KiB).
+    assert crossover is not None
+    assert 1024 <= crossover <= 8192
+    # Both curves are monotone in size.
+    sizes = sorted(by_size)
+    line_rtts = [by_size[s].line_rtt_ns for s in sizes]
+    dma_rtts = [by_size[s].dma_rtt_ns for s in sizes]
+    assert line_rtts == sorted(line_rtts)
+    assert dma_rtts == sorted(dma_rtts)

@@ -1,0 +1,36 @@
+"""E4 — static vs dynamic workloads across the three stacks."""
+
+from repro.experiments.dynamic_mix import run_dynamic_mix
+
+
+def test_dynamic_mix(once):
+    results = once(
+        run_dynamic_mix,
+        service_counts=(2, 8, 32),
+        n_requests=200,
+    )
+
+    def get(stack, n):
+        return next(r for r in results if r.stack == stack and r.n_services == n)
+
+    for n_services in (2, 8, 32):
+        linux = get("linux", n_services)
+        bypass = get("bypass", n_services)
+        lauberhorn = get("lauberhorn", n_services)
+        # Everyone finishes the workload.
+        assert lauberhorn.completed == bypass.completed == linux.completed
+        # Median latency: Lauberhorn beats bypass beats Linux, even as
+        # services outnumber cores (the paper's headline).
+        assert lauberhorn.p50_ns < bypass.p50_ns < linux.p50_ns
+        # CPU efficiency: the spinning bypass cores burn vastly more
+        # cycles per request; Lauberhorn uses the least.
+        assert lauberhorn.busy_ns_per_request < linux.busy_ns_per_request
+        assert lauberhorn.busy_ns_per_request < bypass.busy_ns_per_request / 10
+
+    # Bypass's poll-sweep cost grows with the number of queues it must
+    # multiplex; Lauberhorn's per-request cost stays roughly flat.
+    assert get("bypass", 32).busy_ns_per_request > get("bypass", 2).busy_ns_per_request
+    assert (
+        get("lauberhorn", 32).busy_ns_per_request
+        < get("lauberhorn", 2).busy_ns_per_request * 3
+    )

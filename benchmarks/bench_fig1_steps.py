@@ -1,0 +1,19 @@
+"""E2 — regenerate the Section 2 receive-path step breakdown."""
+
+from repro.experiments.fig1_steps import run_fig1_steps
+
+
+def test_fig1_step_breakdown(once):
+    rows, measured = once(run_fig1_steps, n_requests=20)
+    assert len(rows) == 12  # the paper's twelve steps
+
+    linux = measured["linux"].busy_ns_per_request
+    bypass = measured["bypass"].busy_ns_per_request
+    lauberhorn = measured["lauberhorn"].busy_ns_per_request
+
+    # Ordering: Lauberhorn << bypass << linux; the common case leaves
+    # "essentially zero" software on the host.
+    assert lauberhorn < bypass < linux
+    assert lauberhorn < 500            # ns of software per RPC
+    assert lauberhorn < bypass / 3
+    assert lauberhorn < linux / 10

@@ -1,0 +1,21 @@
+"""E1 — regenerate Figure 2 (64 B message round-trip latencies)."""
+
+from repro.experiments.fig2_roundtrip import run_fig2
+
+
+def test_fig2_roundtrip(once):
+    results = once(run_fig2)
+    by_label = {r.label: r.round_trip_ns for r in results}
+    eci = by_label["Enzian / ECI (coherent)"]
+    pcie_enzian = by_label["Enzian / PCIe Gen3 DMA"]
+    pcie_modern = by_label["Modern server / PCIe Gen5 DMA"]
+    cxl = by_label["Modern server / CXL 3.0 (coherent, projected)"]
+
+    # The paper's shape: coherent interaction is dramatically faster
+    # than DMA on the same machine (Enzian: several-fold), and the ECI
+    # round trip lands in the sub-microsecond regime of [21].
+    assert eci < pcie_enzian / 2.5
+    assert eci < 1500
+    assert cxl < pcie_modern / 3
+    # Even against a much newer PCIe generation, old-ECI competes.
+    assert eci < pcie_modern * 1.5

@@ -1,0 +1,23 @@
+"""E3 — regenerate the Figure 5 dispatch-loop comparison."""
+
+from repro.experiments.fig5_dispatch import run_fig5_dispatch
+
+
+def test_fig5_dispatch(once):
+    results = once(run_fig5_dispatch, n_requests=20)
+    by_config = {r.config: r for r in results}
+    linux = by_config["linux"]
+    hot = by_config["lauberhorn-hot"]
+    kernel = by_config["lauberhorn-kernel"]
+    promote = by_config["lauberhorn-promote"]
+
+    # Hot path beats the kernel-dispatch path beats Linux.
+    assert hot.p50_rtt_ns < kernel.p50_rtt_ns < linux.p50_rtt_ns
+    # Promotion converges to the hot path after the first request.
+    assert promote.p50_rtt_ns <= hot.p50_rtt_ns * 1.2
+    assert promote.kernel_dispatches <= 2
+    assert promote.fast_dispatches >= 15
+    # Software cost: hot path is near-zero; kernel dispatch pays the
+    # context switch but still undercuts Linux.
+    assert hot.busy_ns_per_request < 500
+    assert kernel.busy_ns_per_request < linux.busy_ns_per_request

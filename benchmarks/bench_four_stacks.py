@@ -1,0 +1,25 @@
+"""The Section 2 design space, quantified: linux vs snap vs bypass vs
+lauberhorn on the same static workload."""
+
+from repro.experiments.four_stacks import run_four_stacks
+
+
+def test_four_stacks(once):
+    results = once(run_four_stacks, n_requests=20)
+    by_stack = {r.stack: r for r in results}
+    lauberhorn = by_stack["lauberhorn"]
+    bypass = by_stack["bypass"]
+    snap = by_stack["snap"]
+    linux = by_stack["linux"]
+
+    # Latency ordering across the whole design space.
+    assert lauberhorn.p50_rtt_ns < bypass.p50_rtt_ns
+    assert bypass.p50_rtt_ns < snap.p50_rtt_ns  # the cross-core hop
+    assert snap.p50_rtt_ns < linux.p50_rtt_ns
+    # Host software per request: Lauberhorn is an order of magnitude
+    # below every software stack.
+    assert lauberhorn.busy_ns_per_request * 3 < min(
+        bypass.busy_ns_per_request,
+        snap.busy_ns_per_request,
+        linux.busy_ns_per_request,
+    )

@@ -1,0 +1,24 @@
+"""E16 — Section 3's trust argument, quantified: the IOMMU tax."""
+
+from repro.experiments.iommu_tax import run_iommu_tax
+
+
+def test_iommu_tax(once):
+    results = once(run_iommu_tax)
+    by_config = {r.config: r for r in results}
+    trusted = by_config["trusted NIC (no IOMMU)"]
+    resident = by_config["IOMMU, IOTLB-resident pool (16 pages)"]
+    thrash = by_config["IOMMU, thrashing ring (1024 pages)"]
+    strict = by_config["IOMMU, thrashing + strict unmap"]
+
+    # Monotone cost ordering across the regimes.
+    assert (trusted.rtt_ns < resident.rtt_ns < thrash.rtt_ns
+            < strict.rtt_ns)
+    # A resident working set keeps the tax small (<10%); thrashing a
+    # real-sized ring costs 15%+ per small DMA; strict mode more.
+    assert resident.rtt_ns < trusted.rtt_ns * 1.10
+    assert thrash.rtt_ns > trusted.rtt_ns * 1.15
+    assert strict.rtt_ns > trusted.rtt_ns * 1.25
+    # Hit rates explain it.
+    assert resident.iotlb_hit_rate > 0.95
+    assert thrash.iotlb_hit_rate < 0.80

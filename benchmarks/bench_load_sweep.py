@@ -1,0 +1,24 @@
+"""E15 — latency vs offered load (the hockey-stick curves)."""
+
+from repro.experiments.load_sweep import run_load_sweep
+
+
+def test_load_sweep(once):
+    points = once(run_load_sweep, rates=(50e3, 300e3, 600e3), n_requests=200)
+
+    def get(stack, rate):
+        return next(p for p in points
+                    if p.stack == stack and p.rate_per_sec == rate)
+
+    # At low load the latency ordering is the per-request cost ordering.
+    assert (get("lauberhorn", 50e3).p50_ns
+            < get("bypass", 50e3).p50_ns
+            < get("linux", 50e3).p50_ns)
+    # Linux saturates by 600k/s (its capacity is ~270k/s): the queue
+    # blows its latency up by an order of magnitude.
+    assert get("linux", 600e3).p50_ns > get("linux", 50e3).p50_ns * 5
+    # Bypass and Lauberhorn still ride flat at 600k/s.
+    assert get("bypass", 600e3).p50_ns < get("bypass", 50e3).p50_ns * 1.5
+    assert get("lauberhorn", 600e3).p50_ns < get("lauberhorn", 50e3).p50_ns * 1.5
+    # Everyone completed everything (no losses at these rates).
+    assert all(p.completed == 200 for p in points)

@@ -1,0 +1,14 @@
+"""E9 — nested RPCs with continuation end-points (Section 6)."""
+
+from repro.experiments.nested_rpc import run_nested_rpc
+
+
+def test_nested_rpc(once):
+    results = once(run_nested_rpc, n_requests=10)
+    by_stack = {r.stack: r for r in results}
+    lauberhorn = by_stack["lauberhorn"]
+    linux = by_stack["linux"]
+    # "significant performance benefits": several-fold over sockets.
+    assert lauberhorn.p50_rtt_ns < linux.p50_rtt_ns / 2.5
+    # The whole nested call stays in the ~10us regime.
+    assert lauberhorn.p50_rtt_ns < 15_000

@@ -1,0 +1,15 @@
+"""E10 — steady-state coherence traffic per RPC (Figure 4)."""
+
+from repro.experiments.protocol_cost import run_protocol_cost
+
+
+def test_protocol_cost(once):
+    cost = once(run_protocol_cost, n_requests=32)
+    # Figure 4's steady state: the single CONTROL load both completes
+    # request N-1 and waits for request N, and the response store is a
+    # silent local upgrade.
+    assert cost.fills_per_request == 1.0
+    assert cost.recalls_per_request == 1.0
+    assert cost.upgrades_per_request == 0.0
+    # One line in (request), one line out (dirty response recall).
+    assert cost.line_transfers_per_request == 2.0

@@ -1,0 +1,15 @@
+"""E8 — the cost of keeping the NIC's scheduling state fresh."""
+
+from repro.experiments.sched_state import run_sched_state
+
+
+def test_sched_state_push(once):
+    result = once(run_sched_state)
+    # "negligible overhead": under 2% of a context switch.
+    assert result.push_overhead_pct < 2.0
+    assert result.push_overhead_ns < 50
+    # The coherent posted store is competitive with a posted MMIO write
+    # and far cheaper than a synchronous MMIO read or a descriptor DMA.
+    coherent = result.alternatives["coherent posted line store (Lauberhorn)"]
+    assert coherent < result.alternatives["PCIe MMIO read (synchronous)"] / 10
+    assert coherent < result.alternatives["descriptor DMA enqueue (driver)"]

@@ -1,0 +1,20 @@
+"""E18 — sensitivity of the paper's bet to coherent-link latency."""
+
+from repro.experiments.sensitivity import run_sensitivity
+
+
+def test_sensitivity(once):
+    points, break_even = once(run_sensitivity)
+    by_latency = {p.one_way_ns: p for p in points}
+
+    # At realistic latencies (CXL-class through ECI-class and beyond),
+    # Lauberhorn wins.
+    assert by_latency[125].lauberhorn_wins
+    assert by_latency[350].lauberhorn_wins   # "even the comparatively
+    assert by_latency[700].lauberhorn_wins   #  slow ECI"
+    # Only an implausibly slow coherent link loses to PCIe bypass.
+    assert break_even is not None
+    assert break_even >= 1000
+    # The RTT degrades monotonically with link latency.
+    rtts = [p.lauberhorn_rtt_ns for p in points]
+    assert rtts == sorted(rtts)

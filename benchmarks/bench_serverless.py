@@ -1,0 +1,21 @@
+"""E17 — serverless consolidation under a Zipf+bursty trace."""
+
+from repro.experiments.serverless import run_serverless
+
+
+def test_serverless_consolidation(once):
+    results = once(run_serverless, n_functions=24, n_serving=4)
+    by_stack = {r.stack: r for r in results}
+    linux = by_stack["linux"]
+    lauberhorn = by_stack["lauberhorn"]
+
+    # Same trace completed by both.
+    assert lauberhorn.invocations == linux.invocations > 200
+    # Lauberhorn wins median, tail, and CPU per invocation.
+    assert lauberhorn.p50_ns < linux.p50_ns / 1.5
+    assert lauberhorn.p99_ns < linux.p99_ns / 1.5
+    assert lauberhorn.busy_ns_per_invocation < linux.busy_ns_per_invocation / 1.5
+    # The Zipf head rides the fast path: a meaningful share of
+    # invocations avoid the kernel entirely, despite 24 functions
+    # sharing 4 cores.
+    assert lauberhorn.kernel_dispatch_fraction < 0.7

@@ -1,0 +1,29 @@
+"""E14 — peak per-core throughput and Lauberhorn end-point scaling."""
+
+from repro.experiments.throughput import run_lauberhorn_scaling, run_throughput
+
+
+def test_peak_throughput(once):
+    results = once(run_throughput, concurrency=32, n_requests=250)
+    by_stack = {r.config: r for r in results}
+    linux = by_stack["linux"].requests_per_sec_per_core
+    bypass = by_stack["bypass"].requests_per_sec_per_core
+    lauberhorn = by_stack["lauberhorn"].requests_per_sec_per_core
+
+    # Everyone finished the workload.
+    assert all(r.completed == 250 for r in results)
+    # Throughput ordering matches the per-request cost ordering.
+    assert lauberhorn > bypass > linux
+    # Absolute regimes: the software stacks land in the 10^5/s band,
+    # Lauberhorn in the ~10^6/s band a zero-software path implies.
+    assert linux > 50e3
+    assert lauberhorn > 500e3
+
+
+def test_lauberhorn_scaling(once):
+    results = once(run_lauberhorn_scaling, core_counts=(1, 2, 4))
+    rates = [r.requests_per_sec for r in results]
+    # More armed end-points -> more throughput, near-linearly (the NIC
+    # pipeline and wire are nowhere near saturation).
+    assert rates[0] < rates[1] < rates[2]
+    assert rates[2] > rates[0] * 2.5

@@ -1,0 +1,20 @@
+"""Shared benchmark configuration.
+
+Each benchmark runs one experiment end-to-end (rounds=1): the metric of
+interest is the experiment's *output table* (printed to stdout, matching
+the paper's figures), with pytest-benchmark recording the harness
+wall-clock as a by-product.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: one Lauberhorn server, one echo service, five RPCs.
+
+Builds the simulated Enzian machine with the Lauberhorn NIC, registers
+an echo service with a user-mode receive loop (the Figure 4 fast path),
+fires five RPCs from a client node, and prints what happened.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments import build_lauberhorn_testbed
+from repro.nic.lauberhorn import EndpointKind
+from repro.os.nicsched import lauberhorn_user_loop
+from repro.sim import MS
+
+
+def main() -> None:
+    # A 48-core Enzian-like machine, a switch, and one client node.
+    bed = build_lauberhorn_testbed()
+
+    # Register a service: one UDP port, one method with an explicit
+    # compute cost (the simulation charges CPU time; the handler body
+    # produces the actual response values).
+    service = bed.registry.create_service("echo", udp_port=9000)
+    method = bed.registry.add_method(
+        service,
+        "echo",
+        handler=lambda args: list(args),
+        cost_instructions=500,
+    )
+
+    # Give the service a process, a NIC end-point (two CONTROL cache
+    # lines + AUX lines homed on the NIC), and a worker thread running
+    # the user-mode receive loop: it stalls in a blocked load until the
+    # NIC answers with a fully dispatched request.
+    process = bed.kernel.spawn_process("echo-server")
+    bed.nic.register_service(service, process.pid)
+    endpoint = bed.nic.create_endpoint(EndpointKind.USER, service=service)
+    bed.kernel.spawn_thread(
+        process,
+        lauberhorn_user_loop(bed.nic, endpoint, bed.registry),
+        name="echo-loop",
+        pinned_core=0,
+    )
+
+    # Drive five RPCs from the client and print the round trips.
+    client = bed.clients[0]
+    rtts = []
+
+    def driver():
+        yield bed.sim.timeout(10_000)  # let the loop arm its first load
+        for i in range(5):
+            result = yield from client.call(
+                args=[i, f"hello-{i}"], **bed.call_args(service, method)
+            )
+            rtts.append(result.rtt_ns)
+            print(f"  rpc {i}: results={result.results}  "
+                  f"rtt={result.rtt_ns / 1000:.2f} us")
+
+    bed.sim.process(driver())
+    bed.machine.run(until=50 * MS)
+
+    print()
+    print(f"fast-path deliveries : {bed.nic.lstats.delivered_fast}")
+    print(f"responses sent       : {bed.nic.lstats.responses_sent}")
+    print(f"kernel syscalls      : {bed.kernel.stats.syscalls} "
+          "(the data path never enters the kernel)")
+    core = bed.machine.cores[0]
+    print(f"core 0 busy          : {core.counters.busy_ns / 1000:.2f} us "
+          f"(stall {core.stall_ns_now() / 1e6:.2f} ms — blocked loads, "
+          "not spinning)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""lauberhorn-sim: a simulation reproduction of "The NIC should be part
+of the OS." (Xu & Roscoe, HotOS '25).
+
+Subpackages (see DESIGN.md for the full inventory):
+
+* :mod:`repro.sim` — discrete-event simulation engine
+* :mod:`repro.hw` — cores, caches, coherence fabric, interconnects
+* :mod:`repro.net` — wire formats, links, switch, crypto models
+* :mod:`repro.nic` — DMA, bypass, and Lauberhorn NIC models
+* :mod:`repro.os` — kernel, scheduler, netstack, NIC-driven scheduling
+* :mod:`repro.rpc` — RPC wire format, marshalling, services, servers
+* :mod:`repro.mc` — explicit-state model checker + protocol spec
+* :mod:`repro.workloads` — clients, distributions, generators
+* :mod:`repro.metrics` — latency, cycles, energy
+* :mod:`repro.experiments` — one module per paper figure/claim
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,24 @@
+"""Experiment harness (S14): testbeds and one module per paper artifact.
+
+The individual experiments (E1-E18) live in their own modules and are
+indexed by :data:`repro.experiments.run_all.EXPERIMENTS`; import them
+lazily via ``run_all`` to keep testbed imports light.
+"""
+
+from .testbed import (
+    SERVER_IP,
+    SERVER_MAC,
+    Testbed,
+    build_bypass_testbed,
+    build_lauberhorn_testbed,
+    build_linux_testbed,
+)
+
+__all__ = [
+    "SERVER_IP",
+    "SERVER_MAC",
+    "Testbed",
+    "build_bypass_testbed",
+    "build_lauberhorn_testbed",
+    "build_linux_testbed",
+]

@@ -1,0 +1,121 @@
+"""E5 — Section 6: the line-transfer vs DMA crossover (~4 KiB).
+
+"For large messages, the direct, low-latency approach becomes less
+efficient and it is best to revert back to DMA-based transfers since
+throughput comes to dominate over latency.  The trade-off will depend
+on the platform, empirically for Enzian this happens at about 4KiB."
+
+We sweep request payload size and measure client-observed RTT twice:
+once forcing cache-line delivery (threshold = infinity) and once
+forcing DMA fallback (threshold = 0).  The handler returns a tiny ack
+so the receive direction dominates.  The reported crossover is the
+smallest size at which DMA wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..hw.params import ENZIAN, MachineParams
+from ..nic.lauberhorn import EndpointKind
+from ..os.nicsched import lauberhorn_user_loop
+from ..sim.clock import MS
+from ..workloads.distributions import args_for_payload
+from .report import fmt_ns, print_table
+from .testbed import build_lauberhorn_testbed
+
+__all__ = ["CrossoverPoint", "run_crossover", "measure_rtt_for_size"]
+
+DEFAULT_SIZES = (64, 128, 256, 512, 1024, 2048, 4096, 6144, 8192, 16384)
+
+
+@dataclass(frozen=True)
+class CrossoverPoint:
+    payload_bytes: int
+    line_rtt_ns: float
+    dma_rtt_ns: float
+
+    @property
+    def dma_wins(self) -> bool:
+        return self.dma_rtt_ns < self.line_rtt_ns
+
+
+def measure_rtt_for_size(
+    payload_bytes: int,
+    force_dma: bool,
+    params: MachineParams = ENZIAN,
+    n: int = 5,
+) -> float:
+    """Mean steady RTT for one payload size under one delivery mode."""
+    # AUX capacity must cover the largest line-delivered payload.
+    line = params.interconnect.line_bytes
+    n_aux = min(255, -(-payload_bytes // line) + 2)
+    bed = build_lauberhorn_testbed(
+        params=params,
+        n_aux=n_aux,
+        dma_threshold_bytes=(0 if force_dma else 1 << 30),
+    )
+    # Only the *request* direction is being forced; tiny acks must not
+    # take the response DMA staging path.
+    bed.nic.response_dma_threshold_bytes = 1 << 30
+    service = bed.registry.create_service("sink", udp_port=9000)
+    method = bed.registry.add_method(
+        service, "sink", lambda args: ["ok"], cost_instructions=100
+    )
+    process = bed.kernel.spawn_process("sink")
+    bed.nic.register_service(service, process.pid)
+    endpoint = bed.nic.create_endpoint(
+        EndpointKind.USER, service=service, n_aux=n_aux
+    )
+    bed.kernel.spawn_thread(
+        process, lauberhorn_user_loop(bed.nic, endpoint, bed.registry),
+        pinned_core=0,
+    )
+    client = bed.clients[0]
+    args = args_for_payload(payload_bytes)
+    rtts: list[float] = []
+
+    def driver():
+        yield bed.sim.timeout(10_000)
+        for _ in range(n + 1):
+            result = yield from client.call(
+                args=args, **bed.call_args(service, method)
+            )
+            rtts.append(result.rtt_ns)
+
+    bed.sim.process(driver())
+    bed.machine.run(until=4000 * MS)
+    steady = rtts[1:]
+    return sum(steady) / len(steady)
+
+
+def run_crossover(
+    sizes=DEFAULT_SIZES,
+    params: MachineParams = ENZIAN,
+    verbose: bool = True,
+) -> tuple[list[CrossoverPoint], Optional[int]]:
+    """Sweep sizes; return (points, crossover_size_or_None)."""
+    points = [
+        CrossoverPoint(
+            payload_bytes=size,
+            line_rtt_ns=measure_rtt_for_size(size, force_dma=False, params=params),
+            dma_rtt_ns=measure_rtt_for_size(size, force_dma=True, params=params),
+        )
+        for size in sizes
+    ]
+    crossover = next((p.payload_bytes for p in points if p.dma_wins), None)
+    if verbose:
+        print_table(
+            ["payload", "line path RTT", "DMA path RTT", "winner"],
+            [
+                (f"{p.payload_bytes} B", fmt_ns(p.line_rtt_ns),
+                 fmt_ns(p.dma_rtt_ns), "DMA" if p.dma_wins else "lines")
+                for p in points
+            ],
+            title=f"Section 6 — delivery-mechanism crossover on {params.name}",
+        )
+        print(f"\ncrossover: DMA first wins at "
+              f"{crossover if crossover else '>' + str(sizes[-1])} B "
+              f"(paper: ~4 KiB on Enzian)")
+    return points, crossover

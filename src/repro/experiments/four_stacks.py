@@ -1,0 +1,150 @@
+"""The full design space of Section 2, side by side.
+
+Four server architectures for the same echo workload:
+
+* **linux**      — DMA NIC, interrupts, softirq, sockets (Figure 1);
+* **snap**       — dedicated engine core + schedulable workers over
+  shared-memory channels (Snap, SOSP'19);
+* **bypass**     — pinned PMD worker on a user-polled ring
+  (DPDK/Arrakis/IX);
+* **lauberhorn** — the paper's OS-integrated coherent NIC.
+
+This is the quantitative version of the paper's Section 2 survey: each
+point trades flexibility against data-path cost, and Lauberhorn sits
+below all of them on both latency and host cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.cycles import CycleWindow
+from ..metrics.histogram import LatencyRecorder
+from ..nic.lauberhorn import EndpointKind
+from ..os.nicsched import lauberhorn_user_loop
+from ..rpc.server import bypass_worker, linux_udp_worker
+from ..rpc.snap import SnapEngine, snap_engine_body, snap_worker_body
+from ..sim.clock import MS
+from .report import fmt_ns, print_table
+from .testbed import (
+    build_bypass_testbed,
+    build_lauberhorn_testbed,
+    build_linux_testbed,
+)
+
+__all__ = ["StackResult", "run_four_stacks"]
+
+HANDLER_COST = 500
+
+
+@dataclass(frozen=True)
+class StackResult:
+    stack: str
+    p50_rtt_ns: float
+    p99_rtt_ns: float
+    busy_ns_per_request: float
+
+
+def _measure(bed, service, method, n_requests: int) -> StackResult:
+    client = bed.clients[0]
+    recorder = LatencyRecorder()
+    window = CycleWindow(bed.machine)
+    state = {}
+
+    def driver():
+        yield bed.sim.timeout(10_000)
+        yield from client.call(args=[0], **bed.call_args(service, method))
+        window.begin()
+        events = [
+            client.send_request(
+                bed.server_mac, bed.server_ip, service.udp_port,
+                service.service_id, method.method_id, [i],
+            )
+            for i in range(n_requests)
+        ]
+        for event in events:
+            result = yield event
+            recorder.record(result.rtt_ns)
+        state["cost"] = window.end(n_requests)
+
+    bed.sim.process(driver())
+    bed.machine.run(until=2000 * MS)
+    summary = recorder.summary()
+    return summary, state["cost"]
+
+
+def run_four_stacks(n_requests: int = 25, verbose: bool = True) -> list[StackResult]:
+    results: list[StackResult] = []
+
+    # Linux.
+    bed = build_linux_testbed()
+    service = bed.registry.create_service("echo", udp_port=9000)
+    method = bed.registry.add_method(service, "m", lambda a: list(a),
+                                     cost_instructions=HANDLER_COST)
+    socket = bed.netstack.bind(9000)
+    proc = bed.kernel.spawn_process("srv")
+    bed.kernel.spawn_thread(proc, linux_udp_worker(socket, bed.registry))
+    summary, cost = _measure(bed, service, method, n_requests)
+    results.append(StackResult("linux", summary.p50, summary.p99,
+                               cost.busy_ns_per_request))
+
+    # Snap.
+    bed = build_bypass_testbed()
+    service = bed.registry.create_service("echo", udp_port=9000)
+    method = bed.registry.add_method(service, "m", lambda a: list(a),
+                                     cost_instructions=HANDLER_COST)
+    bed.nic.steer_port(9000, 0)
+    engine = SnapEngine(bed.sim, bed.registry, bed.user_netctx)
+    engine_proc = bed.kernel.spawn_process("snap-engine")
+    bed.kernel.spawn_thread(
+        engine_proc, snap_engine_body(bed.nic, [bed.nic.queues[0]], engine),
+        pinned_core=0,
+    )
+    worker_proc = bed.kernel.spawn_process("snap-worker")
+    bed.kernel.spawn_thread(
+        worker_proc, snap_worker_body(engine, service), pinned_core=1,
+    )
+    summary, cost = _measure(bed, service, method, n_requests)
+    results.append(StackResult("snap", summary.p50, summary.p99,
+                               cost.busy_ns_per_request))
+
+    # Bypass.
+    bed = build_bypass_testbed()
+    service = bed.registry.create_service("echo", udp_port=9000)
+    method = bed.registry.add_method(service, "m", lambda a: list(a),
+                                     cost_instructions=HANDLER_COST)
+    bed.nic.steer_port(9000, 0)
+    proc = bed.kernel.spawn_process("pmd")
+    bed.kernel.spawn_thread(
+        proc, bypass_worker(bed.nic, bed.nic.queues[0], bed.user_netctx,
+                            bed.registry),
+        pinned_core=0,
+    )
+    summary, cost = _measure(bed, service, method, n_requests)
+    results.append(StackResult("bypass", summary.p50, summary.p99,
+                               cost.busy_ns_per_request))
+
+    # Lauberhorn.
+    bed = build_lauberhorn_testbed()
+    service = bed.registry.create_service("echo", udp_port=9000)
+    method = bed.registry.add_method(service, "m", lambda a: list(a),
+                                     cost_instructions=HANDLER_COST)
+    proc = bed.kernel.spawn_process("srv")
+    bed.nic.register_service(service, proc.pid)
+    endpoint = bed.nic.create_endpoint(EndpointKind.USER, service=service)
+    bed.kernel.spawn_thread(
+        proc, lauberhorn_user_loop(bed.nic, endpoint, bed.registry),
+        pinned_core=0,
+    )
+    summary, cost = _measure(bed, service, method, n_requests)
+    results.append(StackResult("lauberhorn", summary.p50, summary.p99,
+                               cost.busy_ns_per_request))
+
+    if verbose:
+        print_table(
+            ["stack", "p50 RTT", "p99 RTT", "busy/req"],
+            [(r.stack, fmt_ns(r.p50_rtt_ns), fmt_ns(r.p99_rtt_ns),
+              fmt_ns(r.busy_ns_per_request)) for r in results],
+            title="Section 2's design space — four stacks, one workload",
+        )
+    return results

@@ -1,0 +1,117 @@
+"""E15 — latency vs offered load: the hockey-stick curves.
+
+Sweeps the open-loop arrival rate against each stack (one serving core)
+and reports p50/p99 — the standard way to show where each architecture
+saturates.  The knee should fall in the order of per-request software
+cost: Linux first, then bypass, with Lauberhorn sustaining the highest
+rate before its (protocol-bound) knee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nic.lauberhorn import EndpointKind
+from ..os.nicsched import lauberhorn_user_loop
+from ..rpc.server import bypass_worker, linux_udp_worker
+from ..sim.clock import MS
+from ..workloads.generator import OpenLoopGenerator, ServiceMix, Target
+from .report import fmt_ns, print_table
+from .testbed import (
+    build_bypass_testbed,
+    build_lauberhorn_testbed,
+    build_linux_testbed,
+)
+
+__all__ = ["LoadPoint", "run_load_sweep"]
+
+HANDLER_COST = 500
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    stack: str
+    rate_per_sec: float
+    completed: int
+    p50_ns: float
+    p99_ns: float
+
+
+def _build(stack: str):
+    if stack == "linux":
+        bed = build_linux_testbed()
+        service = bed.registry.create_service("s", udp_port=9000)
+        method = bed.registry.add_method(service, "m", lambda a: [1],
+                                         cost_instructions=HANDLER_COST)
+        socket = bed.netstack.bind(9000)
+        process = bed.kernel.spawn_process("srv")
+        bed.kernel.spawn_thread(process, linux_udp_worker(socket, bed.registry),
+                                pinned_core=0)
+        bed.nic.set_queue_core(0, 1)  # IRQs off the worker's core
+        return bed, service, method
+    if stack == "bypass":
+        bed = build_bypass_testbed()
+        service = bed.registry.create_service("s", udp_port=9000)
+        method = bed.registry.add_method(service, "m", lambda a: [1],
+                                         cost_instructions=HANDLER_COST)
+        bed.nic.steer_port(9000, 0)
+        process = bed.kernel.spawn_process("pmd")
+        bed.kernel.spawn_thread(
+            process, bypass_worker(bed.nic, bed.nic.queues[0],
+                                   bed.user_netctx, bed.registry),
+            pinned_core=0,
+        )
+        return bed, service, method
+    if stack == "lauberhorn":
+        bed = build_lauberhorn_testbed()
+        service = bed.registry.create_service("s", udp_port=9000)
+        method = bed.registry.add_method(service, "m", lambda a: [1],
+                                         cost_instructions=HANDLER_COST)
+        process = bed.kernel.spawn_process("srv")
+        bed.nic.register_service(service, process.pid)
+        endpoint = bed.nic.create_endpoint(
+            EndpointKind.USER, service=service, backlog_capacity=4096
+        )
+        bed.kernel.spawn_thread(
+            process, lauberhorn_user_loop(bed.nic, endpoint, bed.registry),
+            pinned_core=0,
+        )
+        return bed, service, method
+    raise ValueError(f"unknown stack {stack!r}")
+
+
+def run_load_sweep(
+    rates=(50e3, 150e3, 300e3, 600e3),
+    n_requests: int = 250,
+    stacks=("linux", "bypass", "lauberhorn"),
+    verbose: bool = True,
+) -> list[LoadPoint]:
+    points: list[LoadPoint] = []
+    for stack in stacks:
+        for rate in rates:
+            bed, service, method = _build(stack)
+            generator = OpenLoopGenerator(
+                bed.clients[0],
+                ServiceMix([Target(service, method)]),
+                bed.server_mac,
+                bed.server_ip,
+                rng=bed.machine.rng.stream("sweep"),
+            )
+            done = bed.sim.process(generator.run(rate, n_requests))
+            bed.machine.run(until=done)
+            summary = generator.recorder.summary()
+            points.append(LoadPoint(
+                stack=stack,
+                rate_per_sec=rate,
+                completed=generator.completed,
+                p50_ns=summary.p50,
+                p99_ns=summary.p99,
+            ))
+    if verbose:
+        print_table(
+            ["stack", "offered kreq/s", "p50", "p99"],
+            [(p.stack, f"{p.rate_per_sec / 1e3:.0f}", fmt_ns(p.p50_ns),
+              fmt_ns(p.p99_ns)) for p in points],
+            title="Latency vs offered load (one serving core)",
+        )
+    return points

@@ -1,0 +1,94 @@
+"""E10 — Figure 4: steady-state protocol cost per RPC.
+
+Counts the coherence-fabric transactions one request costs on the hot
+path: in steady state each RPC should take exactly one CONTROL fill
+(which both signals completion of the previous request and waits for
+the next), one fetch-exclusive recall of the response line, and the
+line transfers they imply.  The response store itself is a silent
+local upgrade — zero fabric traffic — which is the protocol's whole
+point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nic.lauberhorn import EndpointKind
+from ..os.nicsched import lauberhorn_user_loop
+from ..sim.clock import MS
+from .report import print_table
+
+__all__ = ["ProtocolCost", "run_protocol_cost"]
+
+
+@dataclass(frozen=True)
+class ProtocolCost:
+    requests: int
+    fills_per_request: float
+    recalls_per_request: float
+    upgrades_per_request: float
+    line_transfers_per_request: float
+    invalidations_per_request: float
+
+
+def run_protocol_cost(n_requests: int = 32, verbose: bool = True) -> ProtocolCost:
+    from .testbed import build_lauberhorn_testbed
+
+    bed = build_lauberhorn_testbed()
+    service = bed.registry.create_service("echo", udp_port=9000)
+    method = bed.registry.add_method(
+        service, "echo", lambda args: list(args), cost_instructions=300
+    )
+    process = bed.kernel.spawn_process("echo")
+    bed.nic.register_service(service, process.pid)
+    endpoint = bed.nic.create_endpoint(EndpointKind.USER, service=service)
+    bed.kernel.spawn_thread(
+        process, lauberhorn_user_loop(bed.nic, endpoint, bed.registry),
+        pinned_core=0,
+    )
+    client = bed.clients[0]
+    fabric = bed.machine.fabric
+    state = {}
+
+    def driver():
+        yield bed.sim.timeout(10_000)
+        # Warm up past the first (cold) request, then snapshot.
+        for i in range(3):
+            yield from client.call(args=[i], **bed.call_args(service, method))
+        state["before"] = (
+            fabric.stats.fills, fabric.stats.recalls, fabric.stats.upgrades,
+            fabric.stats.line_transfers, fabric.stats.invalidations,
+        )
+        for i in range(n_requests):
+            yield from client.call(args=[i], **bed.call_args(service, method))
+        state["after"] = (
+            fabric.stats.fills, fabric.stats.recalls, fabric.stats.upgrades,
+            fabric.stats.line_transfers, fabric.stats.invalidations,
+        )
+
+    bed.sim.process(driver())
+    bed.machine.run(until=2000 * MS)
+    before, after = state["before"], state["after"]
+    deltas = [a - b for a, b in zip(after, before)]
+    cost = ProtocolCost(
+        requests=n_requests,
+        fills_per_request=deltas[0] / n_requests,
+        recalls_per_request=deltas[1] / n_requests,
+        upgrades_per_request=deltas[2] / n_requests,
+        line_transfers_per_request=deltas[3] / n_requests,
+        invalidations_per_request=deltas[4] / n_requests,
+    )
+    if verbose:
+        print_table(
+            ["fabric transaction", "per RPC (steady state)"],
+            [
+                ("CONTROL fills (blocked loads)", f"{cost.fills_per_request:.2f}"),
+                ("fetch-exclusive recalls", f"{cost.recalls_per_request:.2f}"),
+                ("ownership upgrades (response store)",
+                 f"{cost.upgrades_per_request:.2f}"),
+                ("line transfers", f"{cost.line_transfers_per_request:.2f}"),
+                ("invalidations", f"{cost.invalidations_per_request:.2f}"),
+            ],
+            title="Figure 4 — coherence transactions per small RPC",
+        )
+    return cost

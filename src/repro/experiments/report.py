@@ -1,0 +1,44 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment returns structured rows and can print them in the
+shape of the paper's table/figure series, so a bench run reproduces the
+artifact on stdout.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "print_table", "fmt_ns"]
+
+
+def fmt_ns(value_ns: float) -> str:
+    """Human-readable duration."""
+    if value_ns >= 1e6:
+        return f"{value_ns / 1e6:.2f} ms"
+    if value_ns >= 1e3:
+        return f"{value_ns / 1e3:.2f} us"
+    return f"{value_ns:.0f} ns"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Render rows as an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers, rows, title: str = "") -> None:
+    print()
+    print(format_table(headers, rows, title))

@@ -1,0 +1,117 @@
+"""Run every experiment (E1-E18) and print the paper-shaped output.
+
+Usage::
+
+    python -m repro.experiments.run_all                   # everything
+    python -m repro.experiments.run_all e1 e5 e7          # a subset
+    python -m repro.experiments.run_all --json out.json   # + raw results
+
+The printed tables are the reproduction's equivalents of the paper's
+figures; EXPERIMENTS.md records a captured run next to the paper's own
+numbers.  ``--json`` additionally dumps every experiment's structured
+results (dataclasses, recursively serialised) for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+import time
+
+from .ablation import run_crypto_ablation, run_deserialize_ablation
+from .crossover import run_crossover
+from .dynamic_mix import run_dynamic_mix
+from .fig1_steps import run_fig1_steps
+from .fig2_roundtrip import run_fig2
+from .fig5_dispatch import run_fig5_dispatch
+from .four_stacks import run_four_stacks
+from .iommu_tax import run_iommu_tax
+from .load_sweep import run_load_sweep
+from .model_check import run_model_check
+from .nested_rpc import run_nested_rpc
+from .protocol_cost import run_protocol_cost
+from .sched_state import run_sched_state
+from .sensitivity import run_sensitivity
+from .serverless import run_serverless
+from .telemetry_breakdown import run_telemetry_breakdown
+from .throughput import run_lauberhorn_scaling, run_throughput
+from .tryagain import run_timeout_ablation, run_tryagain_energy
+
+__all__ = ["EXPERIMENTS", "main"]
+
+EXPERIMENTS = {
+    "e1": ("Figure 2 — 64 B round-trip latencies", lambda: run_fig2()),
+    "e2": ("Section 2 — receive-path steps", lambda: run_fig1_steps()),
+    "e3": ("Figure 5 — dispatch comparison", lambda: run_fig5_dispatch()),
+    "e4": ("Dynamic workload mix", lambda: run_dynamic_mix()),
+    "e5": ("Section 6 — DMA crossover", lambda: run_crossover()),
+    "e6": ("Section 5.1 — Tryagain & energy",
+           lambda: (run_tryagain_energy(), run_timeout_ablation())),
+    "e7": ("Section 6 — model checking", lambda: run_model_check()),
+    "e8": ("Section 5.2 — sched-state push", lambda: run_sched_state()),
+    "e9": ("Section 6 — nested RPCs", lambda: run_nested_rpc()),
+    "e10": ("Figure 4 — protocol cost", lambda: run_protocol_cost()),
+    "e11": ("Section 2 design space — four stacks", lambda: run_four_stacks()),
+    "e12": ("Ablations — deserialisation offload & crypto placement",
+            lambda: (run_deserialize_ablation(), run_crypto_ablation())),
+    "e13": ("Section 6 — NIC telemetry breakdown",
+            lambda: run_telemetry_breakdown()),
+    "e14": ("Peak throughput & end-point scaling",
+            lambda: (run_throughput(), run_lauberhorn_scaling())),
+    "e15": ("Latency vs offered load", lambda: run_load_sweep()),
+    "e16": ("Section 3 — the IOMMU tax", lambda: run_iommu_tax()),
+    "e17": ("Serverless consolidation trace", lambda: run_serverless()),
+    "e18": ("Sensitivity — coherent-link latency", lambda: run_sensitivity()),
+}
+
+
+def _jsonable(value):
+    """Recursively convert experiment results to JSON-friendly data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    json_path = None
+    if "--json" in argv:
+        flag = argv.index("--json")
+        try:
+            json_path = argv[flag + 1]
+        except IndexError:
+            print("--json needs a path")
+            return 2
+        argv = argv[:flag] + argv[flag + 2:]
+    selected = [a.lower() for a in argv] or list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}")
+        print(f"available: {', '.join(EXPERIMENTS)}")
+        return 2
+    collected = {}
+    for name in selected:
+        title, runner = EXPERIMENTS[name]
+        print(f"\n{'=' * 72}\n{name.upper()}: {title}\n{'=' * 72}")
+        started = time.time()
+        collected[name] = _jsonable(runner())
+        print(f"\n[{name} completed in {time.time() - started:.1f} s wall clock]")
+    if json_path is not None:
+        with open(json_path, "w") as handle:
+            json.dump(collected, handle, indent=2)
+        print(f"\nraw results written to {json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

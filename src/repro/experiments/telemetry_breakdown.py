@@ -1,0 +1,66 @@
+"""Telemetry: the NIC-observed per-RPC latency breakdown (Section 6).
+
+Drives a mix of hot (armed user loop) and cold (kernel-dispatched)
+traffic and prints the queueing / service / egress percentile breakdown
+that the Lauberhorn telemetry ring produces with zero software on the
+data path — the "tracing, debugging, and statistics" integration the
+paper flags as a benefit of making the NIC part of the OS.
+"""
+
+from __future__ import annotations
+
+from ..nic.lauberhorn import EndpointKind
+from ..os.nicsched import NicScheduler, lauberhorn_user_loop
+from ..sim.clock import MS
+from .report import fmt_ns, print_table
+from .testbed import build_lauberhorn_testbed
+
+__all__ = ["run_telemetry_breakdown"]
+
+
+def run_telemetry_breakdown(n_requests: int = 20, verbose: bool = True):
+    bed = build_lauberhorn_testbed()
+
+    hot = bed.registry.create_service("hot", udp_port=9000)
+    hot_m = bed.registry.add_method(hot, "m", lambda a: list(a),
+                                    cost_instructions=500)
+    hot_proc = bed.kernel.spawn_process("hot")
+    bed.nic.register_service(hot, hot_proc.pid)
+    hot_ep = bed.nic.create_endpoint(EndpointKind.USER, service=hot)
+    bed.kernel.spawn_thread(
+        hot_proc, lauberhorn_user_loop(bed.nic, hot_ep, bed.registry),
+        pinned_core=0,
+    )
+
+    cold = bed.registry.create_service("cold", udp_port=9001)
+    cold_m = bed.registry.add_method(cold, "m", lambda a: list(a),
+                                     cost_instructions=500)
+    cold_proc = bed.kernel.spawn_process("cold")
+    bed.nic.register_service(cold, cold_proc.pid)
+    NicScheduler(bed.kernel, bed.nic, bed.registry, n_dispatchers=1,
+                 promote=False)
+
+    client = bed.clients[0]
+
+    def driver():
+        yield bed.sim.timeout(10_000)
+        for i in range(n_requests):
+            service, method = (hot, hot_m) if i % 2 == 0 else (cold, cold_m)
+            yield from client.call(args=[i], **bed.call_args(service, method))
+
+    bed.sim.process(driver())
+    bed.machine.run(until=1000 * MS)
+
+    telemetry = bed.nic.telemetry
+    if verbose:
+        for service in (hot, cold):
+            breakdown = telemetry.breakdown(service.service_id)
+            print_table(
+                ["stage", "p50", "p99"],
+                [(stage, fmt_ns(summary.p50), fmt_ns(summary.p99))
+                 for stage, summary in breakdown.items()],
+                title=f"NIC telemetry — service {service.name!r}",
+            )
+        print(f"\nkernel-dispatch fraction: "
+              f"{telemetry.kernel_dispatch_fraction():.2f}")
+    return telemetry

@@ -1,0 +1,201 @@
+"""Ready-made system assemblies for tests, examples, and benchmarks.
+
+A *testbed* is one server machine (with one of the three NIC/stack
+flavours), a switch, and one or more client nodes, wired up with
+consistent MAC/IP identities.  Experiments ask for a testbed, register
+services, spawn workers, and drive load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..hw.machine import Machine
+from ..hw.params import ENZIAN, ENZIAN_PCIE, MachineParams
+from ..net.headers import MacAddress
+from ..net.link import SwitchFabric
+from ..net.packet import ip_address
+from ..nic.bypass import BypassNic
+from ..nic.dma import DmaNic
+from ..os.kernel import Kernel
+from ..os.netstack import NetStack
+from ..rpc.server import UserNetContext
+from ..rpc.service import ServiceRegistry
+from ..workloads.client import ClientNode
+
+__all__ = ["Testbed", "build_linux_testbed", "build_bypass_testbed",
+           "build_lauberhorn_testbed", "SERVER_MAC", "SERVER_IP"]
+
+SERVER_MAC = MacAddress.from_string("02:00:00:00:00:01")
+SERVER_IP = ip_address("10.0.0.1")
+
+
+def _client_identity(index: int) -> tuple[MacAddress, int]:
+    mac = MacAddress.from_string(f"02:00:00:00:01:{index:02x}")
+    ip = ip_address(f"10.0.1.{index + 1}")
+    return mac, ip
+
+
+@dataclass
+class Testbed:
+    """One assembled system under test."""
+
+    machine: Machine
+    switch: SwitchFabric
+    nic: object
+    kernel: Optional[Kernel]
+    netstack: Optional[NetStack]
+    registry: ServiceRegistry
+    clients: list[ClientNode] = field(default_factory=list)
+    #: user-space net identity for bypass workers (bypass testbeds only)
+    user_netctx: Optional[UserNetContext] = None
+
+    @property
+    def sim(self):
+        return self.machine.sim
+
+    @property
+    def server_mac(self) -> MacAddress:
+        return SERVER_MAC
+
+    @property
+    def server_ip(self) -> int:
+        return SERVER_IP
+
+    def call_args(self, service, method) -> dict:
+        """Keyword arguments for :meth:`ClientNode.call` to a service."""
+        return dict(
+            dst_mac=SERVER_MAC,
+            dst_ip=SERVER_IP,
+            dst_port=service.udp_port,
+            service_id=service.service_id,
+            method_id=method.method_id,
+        )
+
+
+def _base(
+    params: MachineParams,
+    n_clients: int,
+    seed: int,
+    switch_latency_ns: float,
+) -> tuple[Machine, SwitchFabric, list[ClientNode]]:
+    machine = Machine(params, seed=seed)
+    switch = SwitchFabric(
+        machine.sim,
+        bandwidth_bps=params.link_bps,
+        port_latency_ns=switch_latency_ns,
+    )
+    clients = []
+    for index in range(n_clients):
+        mac, ip = _client_identity(index)
+        clients.append(
+            ClientNode(machine.sim, switch, mac, ip, name=f"client{index}")
+        )
+    return machine, switch, clients
+
+
+def build_linux_testbed(
+    params: MachineParams = ENZIAN_PCIE,
+    n_clients: int = 1,
+    n_queues: int = 4,
+    seed: int = 0,
+    switch_latency_ns: float = 250.0,
+) -> Testbed:
+    """Server running the conventional kernel stack on a DMA NIC."""
+    machine, switch, clients = _base(params, n_clients, seed, switch_latency_ns)
+    kernel = Kernel(machine)
+    netstack = NetStack(kernel, ip=SERVER_IP, mac=SERVER_MAC)
+    for client in clients:
+        netstack.add_neighbor(client.ip, client.mac)
+    port = switch.attach(SERVER_MAC, "server")
+    nic = DmaNic(machine, port, n_queues=n_queues)
+    nic.attach_kernel(kernel)
+    nic.start()
+    kernel.start()
+    return Testbed(
+        machine=machine,
+        switch=switch,
+        nic=nic,
+        kernel=kernel,
+        netstack=netstack,
+        registry=ServiceRegistry(),
+        clients=clients,
+    )
+
+
+def build_bypass_testbed(
+    params: MachineParams = ENZIAN_PCIE,
+    n_clients: int = 1,
+    n_queues: int = 1,
+    seed: int = 0,
+    switch_latency_ns: float = 250.0,
+    with_kernel: bool = True,
+) -> Testbed:
+    """Server running a kernel-bypass (PMD) stack.
+
+    A kernel still exists (it hosts/pins the worker threads), but the
+    data path never enters it.
+    """
+    machine, switch, clients = _base(params, n_clients, seed, switch_latency_ns)
+    kernel = Kernel(machine) if with_kernel else None
+    port = switch.attach(SERVER_MAC, "server")
+    nic = BypassNic(machine, port, n_queues=n_queues)
+    nic.start()
+    if kernel is not None:
+        kernel.register_nic(nic)
+        kernel.start()
+    arp = {client.ip: client.mac for client in clients}
+    return Testbed(
+        machine=machine,
+        switch=switch,
+        nic=nic,
+        kernel=kernel,
+        netstack=None,
+        registry=ServiceRegistry(),
+        clients=clients,
+        user_netctx=UserNetContext(ip=SERVER_IP, mac=SERVER_MAC, arp=arp),
+    )
+
+
+def build_lauberhorn_testbed(
+    params: MachineParams = ENZIAN,
+    n_clients: int = 1,
+    seed: int = 0,
+    switch_latency_ns: float = 250.0,
+    n_aux: int = 31,
+    dma_threshold_bytes: int = 4096,
+    tryagain_timeout_ns: Optional[float] = None,
+    preempt_on_backlog: bool = False,
+) -> Testbed:
+    """Server with the Lauberhorn cache-coherent NIC (needs a coherent
+    machine preset such as ENZIAN or MODERN_SERVER_CXL)."""
+    from ..nic.lauberhorn import LauberhornNic
+
+    machine, switch, clients = _base(params, n_clients, seed, switch_latency_ns)
+    kernel = Kernel(machine)
+    registry = ServiceRegistry()
+    port = switch.attach(SERVER_MAC, "server")
+    nic = LauberhornNic(
+        machine,
+        port,
+        registry,
+        mac=SERVER_MAC,
+        ip=SERVER_IP,
+        n_aux=n_aux,
+        dma_threshold_bytes=dma_threshold_bytes,
+        tryagain_timeout_ns=tryagain_timeout_ns,
+        preempt_on_backlog=preempt_on_backlog,
+    )
+    kernel.register_nic(nic)
+    nic.start()
+    kernel.start()
+    return Testbed(
+        machine=machine,
+        switch=switch,
+        nic=nic,
+        kernel=kernel,
+        netstack=None,
+        registry=registry,
+        clients=clients,
+    )

@@ -1,0 +1,162 @@
+"""E14 — peak throughput: requests/second per serving core.
+
+The paper's efficiency claim has a throughput corollary: if dispatch
+costs ~zero software, one core's request rate is bounded by the handler
+plus the protocol's line round trips, not by a software stack.  This
+experiment saturates each stack closed-loop and reports
+
+* single-core peak throughput per stack, and
+* Lauberhorn's scaling across 1/2/4 end-points on 1/2/4 cores
+  (one armed user loop each — the paper's "hot services <= cores"
+  regime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nic.lauberhorn import EndpointKind
+from ..os.nicsched import lauberhorn_user_loop
+from ..rpc.server import bypass_worker, linux_udp_worker
+from ..sim.clock import MS, SEC
+from ..workloads.generator import ClosedLoopGenerator, ServiceMix, Target
+from .report import print_table
+from .testbed import (
+    build_bypass_testbed,
+    build_lauberhorn_testbed,
+    build_linux_testbed,
+)
+
+__all__ = ["ThroughputResult", "run_throughput", "run_lauberhorn_scaling"]
+
+HANDLER_COST = 500
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    config: str
+    n_cores: int
+    completed: int
+    duration_ns: float
+
+    @property
+    def requests_per_sec(self) -> float:
+        return self.completed / (self.duration_ns / SEC)
+
+    @property
+    def requests_per_sec_per_core(self) -> float:
+        return self.requests_per_sec / self.n_cores
+
+
+def _drive_closed_loop(bed, targets, concurrency: int, n_requests: int):
+    generator = ClosedLoopGenerator(
+        bed.clients[0],
+        ServiceMix(targets),
+        bed.server_mac,
+        bed.server_ip,
+        rng=bed.machine.rng.stream("throughput"),
+    )
+    start = bed.sim.now
+    done = bed.sim.process(generator.run(concurrency, n_requests))
+    bed.machine.run(until=done)
+    return generator.completed, bed.sim.now - start
+
+
+def run_throughput(concurrency: int = 32, n_requests: int = 300,
+                   verbose: bool = True) -> list[ThroughputResult]:
+    results: list[ThroughputResult] = []
+
+    # Linux: one worker (one serving core at a time).
+    bed = build_linux_testbed()
+    service = bed.registry.create_service("s", udp_port=9000)
+    method = bed.registry.add_method(service, "m", lambda a: [1],
+                                     cost_instructions=HANDLER_COST)
+    socket = bed.netstack.bind(9000)
+    process = bed.kernel.spawn_process("srv")
+    bed.kernel.spawn_thread(process, linux_udp_worker(socket, bed.registry),
+                            pinned_core=0)
+    completed, duration = _drive_closed_loop(
+        bed, [Target(service, method)], concurrency, n_requests
+    )
+    results.append(ThroughputResult("linux", 1, completed, duration))
+
+    # Bypass: one PMD worker.
+    bed = build_bypass_testbed()
+    service = bed.registry.create_service("s", udp_port=9000)
+    method = bed.registry.add_method(service, "m", lambda a: [1],
+                                     cost_instructions=HANDLER_COST)
+    bed.nic.steer_port(9000, 0)
+    process = bed.kernel.spawn_process("pmd")
+    bed.kernel.spawn_thread(
+        process, bypass_worker(bed.nic, bed.nic.queues[0], bed.user_netctx,
+                               bed.registry),
+        pinned_core=0,
+    )
+    completed, duration = _drive_closed_loop(
+        bed, [Target(service, method)], concurrency, n_requests
+    )
+    results.append(ThroughputResult("bypass", 1, completed, duration))
+
+    # Lauberhorn: one user loop.
+    bed = build_lauberhorn_testbed()
+    service = bed.registry.create_service("s", udp_port=9000)
+    method = bed.registry.add_method(service, "m", lambda a: [1],
+                                     cost_instructions=HANDLER_COST)
+    process = bed.kernel.spawn_process("srv")
+    bed.nic.register_service(service, process.pid)
+    endpoint = bed.nic.create_endpoint(EndpointKind.USER, service=service)
+    bed.kernel.spawn_thread(
+        process, lauberhorn_user_loop(bed.nic, endpoint, bed.registry),
+        pinned_core=0,
+    )
+    completed, duration = _drive_closed_loop(
+        bed, [Target(service, method)], concurrency, n_requests
+    )
+    results.append(ThroughputResult("lauberhorn", 1, completed, duration))
+
+    if verbose:
+        print_table(
+            ["stack", "cores", "requests", "kreq/s/core"],
+            [(r.config, r.n_cores, r.completed,
+              f"{r.requests_per_sec_per_core / 1e3:.0f}")
+             for r in results],
+            title=f"Peak closed-loop throughput (concurrency {concurrency})",
+        )
+    return results
+
+
+def run_lauberhorn_scaling(core_counts=(1, 2, 4), concurrency: int = 48,
+                           n_requests: int = 400, verbose: bool = True):
+    """One service per core, each with its own armed end-point."""
+    results: list[ThroughputResult] = []
+    for n_cores in core_counts:
+        bed = build_lauberhorn_testbed()
+        targets = []
+        for index in range(n_cores):
+            service = bed.registry.create_service(f"s{index}",
+                                                  udp_port=9000 + index)
+            method = bed.registry.add_method(service, "m", lambda a: [1],
+                                             cost_instructions=HANDLER_COST)
+            process = bed.kernel.spawn_process(f"s{index}")
+            bed.nic.register_service(service, process.pid)
+            endpoint = bed.nic.create_endpoint(EndpointKind.USER, service=service)
+            bed.kernel.spawn_thread(
+                process, lauberhorn_user_loop(bed.nic, endpoint, bed.registry),
+                pinned_core=index,
+            )
+            targets.append(Target(service, method))
+        completed, duration = _drive_closed_loop(
+            bed, targets, concurrency, n_requests
+        )
+        results.append(ThroughputResult(
+            f"lauberhorn x{n_cores}", n_cores, completed, duration
+        ))
+    if verbose:
+        print_table(
+            ["config", "cores", "kreq/s", "kreq/s/core"],
+            [(r.config, r.n_cores, f"{r.requests_per_sec / 1e3:.0f}",
+              f"{r.requests_per_sec_per_core / 1e3:.0f}")
+             for r in results],
+            title="Lauberhorn end-point scaling",
+        )
+    return results

@@ -1,0 +1,69 @@
+"""Hardware models: cores, caches, coherence, interconnects (S2/S3)."""
+
+from .address import AddressAllocator, Region, align_down, align_up
+from .coherence import (
+    CoherenceError,
+    CoherenceFabric,
+    CoherenceStats,
+    FillResponse,
+    HomeDevice,
+    LineState,
+    MemoryHome,
+)
+from .core import Core, CoreCounters
+from .interconnect import DeviceLink, LinkStats
+from .iommu import Iommu, IommuParams, IommuStats, PAGE_BYTES
+from .machine import Machine
+from .params import (
+    CXL3,
+    ECI,
+    ENZIAN,
+    ENZIAN_PCIE,
+    MODERN_SERVER,
+    MODERN_SERVER_CXL,
+    PCIE_GEN3,
+    PCIE_GEN5,
+    CacheParams,
+    CoreParams,
+    InterconnectParams,
+    MachineParams,
+    NicParams,
+    OsCostParams,
+)
+
+__all__ = [
+    "AddressAllocator",
+    "CXL3",
+    "CacheParams",
+    "CoherenceError",
+    "CoherenceFabric",
+    "CoherenceStats",
+    "Core",
+    "CoreCounters",
+    "CoreParams",
+    "DeviceLink",
+    "ECI",
+    "ENZIAN",
+    "ENZIAN_PCIE",
+    "FillResponse",
+    "HomeDevice",
+    "InterconnectParams",
+    "Iommu",
+    "IommuParams",
+    "IommuStats",
+    "PAGE_BYTES",
+    "LineState",
+    "LinkStats",
+    "Machine",
+    "MachineParams",
+    "MemoryHome",
+    "MODERN_SERVER",
+    "MODERN_SERVER_CXL",
+    "NicParams",
+    "OsCostParams",
+    "PCIE_GEN3",
+    "PCIE_GEN5",
+    "Region",
+    "align_down",
+    "align_up",
+]

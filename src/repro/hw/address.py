@@ -1,0 +1,85 @@
+"""Physical address regions and a bump allocator.
+
+The simulation models two classes of memory precisely enough for the
+paper's mechanisms:
+
+* *device-homed* coherent regions (NIC endpoint CONTROL/AUX lines,
+  kernel<->NIC control channels) — tracked line-by-line by the
+  coherence fabric;
+* ordinary DRAM — charged parametric hit/miss costs without
+  per-address tracking.
+
+Addresses are plain integers; regions are half-open ``[base, end)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Region", "AddressAllocator", "align_down", "align_up"]
+
+
+def align_down(addr: int, alignment: int) -> int:
+    return addr - (addr % alignment)
+
+
+def align_up(addr: int, alignment: int) -> int:
+    return -(-addr // alignment) * alignment
+
+
+@dataclass(frozen=True)
+class Region:
+    """A half-open physical address range ``[base, base+size)``."""
+
+    base: int
+    size: int
+    name: str = ""
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError(f"region size must be positive, got {self.size}")
+        if self.base < 0:
+            raise ValueError(f"region base must be non-negative, got {self.base}")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def __contains__(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def overlaps(self, other: "Region") -> bool:
+        return self.base < other.end and other.base < self.end
+
+    def lines(self, line_bytes: int):
+        """Iterate the line-aligned addresses covering the region."""
+        start = align_down(self.base, line_bytes)
+        addr = start
+        while addr < self.end:
+            yield addr
+            addr += line_bytes
+
+
+class AddressAllocator:
+    """Carves non-overlapping regions out of an address space."""
+
+    def __init__(self, base: int = 0x1000_0000, alignment: int = 4096):
+        if alignment <= 0:
+            raise ValueError("alignment must be positive")
+        self._next = align_up(base, alignment)
+        self.alignment = alignment
+        self.regions: list[Region] = []
+
+    def allocate(self, size: int, name: str = "") -> Region:
+        """Allocate ``size`` bytes, aligned, never reused."""
+        region = Region(self._next, size, name)
+        self._next = align_up(region.end, self.alignment)
+        self.regions.append(region)
+        return region
+
+    def find(self, addr: int) -> Region | None:
+        """Return the allocated region containing ``addr``, if any."""
+        for region in self.regions:
+            if addr in region:
+                return region
+        return None

@@ -1,0 +1,126 @@
+"""Device link model: MMIO, DMA, and interrupt delivery timing.
+
+A :class:`DeviceLink` wraps an :class:`~repro.hw.params.InterconnectParams`
+and charges the right party for each primitive:
+
+* **MMIO read** — an uncached load across the link: the *core* stalls
+  for a full round trip (this is why doorbell-read-based designs hurt).
+* **MMIO write** — posted: the core only pays a store-buffer cost; the
+  write lands at the device after the one-way latency.
+* **DMA read/write** — the *device* moves ``n`` bytes to/from host
+  DRAM: fixed setup plus serialisation at link bandwidth plus one-way
+  latency (descriptor fetches are separate DMA reads, as in real NICs).
+* **Interrupt** — MSI-X style: device-side raise cost plus one-way
+  delivery to the target core's interrupt controller.
+
+Coherent-line transfers are *not* here — they go through
+:class:`~repro.hw.coherence.CoherenceFabric`, which models them at line
+granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.clock import bytes_time_ns
+from ..sim.engine import Simulator
+from .core import Core
+from .params import InterconnectParams
+
+__all__ = ["LinkStats", "DeviceLink"]
+
+# Cost (ns) for a posted MMIO store to clear the core's store buffer.
+_POSTED_WRITE_CORE_NS = 20.0
+
+
+@dataclass
+class LinkStats:
+    """Traffic counters over the device link."""
+
+    mmio_reads: int = 0
+    mmio_writes: int = 0
+    dma_reads: int = 0
+    dma_writes: int = 0
+    dma_bytes: int = 0
+    interrupts: int = 0
+
+
+class DeviceLink:
+    """Timing model of a CPU<->device interconnect."""
+
+    def __init__(self, sim: Simulator, params: InterconnectParams):
+        self.sim = sim
+        self.params = params
+        self.stats = LinkStats()
+        #: optional IOMMU; DMA ops that carry an address translate
+        #: through it.  A *trusted* device passes no address (the
+        #: paper's position for the NIC) and skips translation.
+        self.iommu = None
+
+    # -- CPU-side primitives (charge the core) -----------------------------
+
+    def mmio_read(self, core: Core):
+        """Uncached load from a device register; generator -> None."""
+        self.stats.mmio_reads += 1
+        core.counters.loads += 1
+        core.counters.stall_ns += self.params.mmio_read_ns
+        yield self.sim.timeout(self.params.mmio_read_ns)
+        return None
+
+    def mmio_write(self, core: Core):
+        """Posted store to a device register; generator -> None.
+
+        The core resumes after draining its store buffer; the value
+        arrives at the device ``one_way_ns`` later, which callers model
+        by scheduling the device reaction with :meth:`posted_delay_ns`.
+        """
+        self.stats.mmio_writes += 1
+        core.counters.stores += 1
+        core.counters.busy_ns += _POSTED_WRITE_CORE_NS
+        yield self.sim.timeout(_POSTED_WRITE_CORE_NS)
+        return None
+
+    def posted_delay_ns(self) -> float:
+        """Time from a posted MMIO write retiring to device visibility."""
+        return self.params.mmio_write_ns
+
+    # -- device-side primitives ---------------------------------------------
+
+    def dma_read(self, nbytes: int, addr: int | None = None):
+        """Device fetches ``nbytes`` from host memory; generator.
+
+        With an IOMMU installed and an ``addr`` given, the access
+        translates first (IOTLB hit or page walk).
+        """
+        self.stats.dma_reads += 1
+        self.stats.dma_bytes += nbytes
+        if self.iommu is not None and addr is not None:
+            yield from self.iommu.translate(addr, nbytes)
+        delay = (
+            self.params.dma_setup_ns
+            + self.params.one_way_ns  # request reaches host
+            + self.params.one_way_ns  # data starts arriving back
+            + bytes_time_ns(nbytes, self.params.bandwidth_bps)
+        )
+        yield self.sim.timeout(delay)
+        return None
+
+    def dma_write(self, nbytes: int, addr: int | None = None):
+        """Device pushes ``nbytes`` into host memory; generator."""
+        self.stats.dma_writes += 1
+        self.stats.dma_bytes += nbytes
+        if self.iommu is not None and addr is not None:
+            yield from self.iommu.translate(addr, nbytes)
+        delay = (
+            self.params.dma_setup_ns
+            + self.params.one_way_ns
+            + bytes_time_ns(nbytes, self.params.bandwidth_bps)
+        )
+        yield self.sim.timeout(delay)
+        return None
+
+    def raise_interrupt(self, raise_cost_ns: float):
+        """MSI-X delivery from device to host; generator."""
+        self.stats.interrupts += 1
+        yield self.sim.timeout(raise_cost_ns + self.params.one_way_ns)
+        return None

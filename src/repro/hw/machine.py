@@ -1,0 +1,78 @@
+"""Machine assembly: cores + interconnect + coherence + tracing.
+
+A :class:`Machine` is the root object every experiment builds: it owns
+the simulator, the cores, the device link, and (when the interconnect
+is cache-coherent) the coherence fabric.  NIC models and the OS model
+attach to it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.engine import Simulator
+from ..sim.rng import RngRegistry
+from ..sim.trace import Tracer
+from .address import AddressAllocator
+from .coherence import CoherenceFabric
+from .core import Core
+from .interconnect import DeviceLink
+from .params import MachineParams
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """A simulated server: cores, caches, interconnect, clock."""
+
+    def __init__(
+        self,
+        params: MachineParams,
+        seed: int = 0,
+        trace: bool = True,
+        sim: Optional[Simulator] = None,
+    ):
+        self.params = params
+        # Multi-machine setups share one simulator (one virtual clock).
+        self.sim = sim if sim is not None else Simulator()
+        self.tracer = Tracer(self.sim, enabled=trace)
+        self.rng = RngRegistry(seed)
+        self.alloc = AddressAllocator()
+        self.link = DeviceLink(self.sim, params.interconnect)
+        self.fabric: Optional[CoherenceFabric] = (
+            CoherenceFabric(self.sim, params.interconnect)
+            if params.interconnect.coherent
+            else None
+        )
+        self.cores = [
+            Core(
+                self.sim,
+                core_id,
+                params.core,
+                params.cache,
+                fabric=self.fabric,
+                tracer=self.tracer,
+            )
+            for core_id in range(params.n_cores)
+        ]
+
+    @property
+    def coherent(self) -> bool:
+        return self.fabric is not None
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.cores)
+
+    def run(self, until=None):
+        """Run the machine's simulator (see :meth:`Simulator.run`)."""
+        return self.sim.run(until=until)
+
+    def total_busy_ns(self) -> float:
+        return sum(core.counters.busy_ns for core in self.cores)
+
+    def total_stall_ns(self) -> float:
+        return sum(core.counters.stall_ns for core in self.cores)
+
+    def total_instructions(self) -> int:
+        return sum(core.counters.instructions for core in self.cores)

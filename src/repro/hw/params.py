@@ -1,0 +1,265 @@
+"""Calibration parameters for the simulated hardware.
+
+Every latency/size constant that the experiments depend on lives here,
+with the source it was calibrated from.  The paper's claims are about
+*relative* costs (interconnect round trips vs. DMA descriptor round
+trips vs. software path lengths), so the absolute values only need to
+sit in the right regime; sources:
+
+* Ruzhanskaia et al., "Rethinking Programmed I/O for Fast Devices,
+  Cheap Cores, and Coherent Interconnects" (arXiv:2409.08141) — ECI
+  blocked-load round trips in the hundreds of ns; PCIe MMIO read
+  ~800 ns; PCIe DMA descriptor round trip for small messages ~3 us.
+* CC-NIC (ASPLOS'24) — UPI/coherent-interconnect NIC emulation numbers.
+* Enzian (ASPLOS'22) — 48-core ThunderX-1 @ 2.0 GHz, 128 B cache
+  lines on the ECI link.
+* The paper itself — 15 ms Tryagain timeout, ~4 KiB DMA crossover,
+  100 Gb/s links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.clock import GHZ, MS, US, Frequency
+
+__all__ = [
+    "InterconnectParams",
+    "CacheParams",
+    "CoreParams",
+    "OsCostParams",
+    "NicParams",
+    "MachineParams",
+    "ENZIAN",
+    "MODERN_SERVER",
+    "ENZIAN_PCIE",
+]
+
+
+@dataclass(frozen=True)
+class InterconnectParams:
+    """Latency/bandwidth of the CPU<->device interconnect."""
+
+    name: str
+    # One-way latency of a single transfer unit (flit/TLP) CPU->device.
+    one_way_ns: float
+    # Size of the coherent transfer unit (cache line) in bytes; None for
+    # non-coherent links such as PCIe.
+    line_bytes: int | None
+    # Sustained data bandwidth in bytes/sec (payload, post-overhead).
+    bandwidth_bps: float
+    # MMIO (uncached load/store to device BAR) costs; loads are round
+    # trips, stores are posted.
+    mmio_read_ns: float = 0.0
+    mmio_write_ns: float = 0.0
+    # Per-DMA-transaction fixed overhead (descriptor fetch engine,
+    # tag allocation, completion generation).
+    dma_setup_ns: float = 0.0
+
+    @property
+    def coherent(self) -> bool:
+        return self.line_bytes is not None
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """First-order cache hierarchy costs (in core cycles)."""
+
+    line_bytes: int = 64
+    l1_hit_cycles: int = 4
+    l2_hit_cycles: int = 14
+    llc_hit_cycles: int = 40
+    dram_ns: float = 90.0
+    # Cost of a coherence transfer from another core's cache.
+    cross_core_ns: float = 60.0
+    # Sequential DRAM copy bandwidth (streaming reads with prefetch).
+    dram_bandwidth_bps: float = 25.6e9
+    # Memory-level parallelism: outstanding line fills a core sustains
+    # when streaming (prefetchable) device-homed lines.
+    mlp: int = 8
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """A CPU core's clock and pipeline abstraction."""
+
+    frequency: Frequency = field(default_factory=lambda: GHZ(2.0))
+    # Average cycles-per-instruction for straight-line kernel/user code.
+    cpi: float = 1.0
+
+
+@dataclass(frozen=True)
+class OsCostParams:
+    """Software path-length costs, in *instructions* at CoreParams.cpi.
+
+    Calibrated from published microbenchmarks of Linux on server-class
+    ARM/x86 parts (syscall ~100-200 ns, context switch ~1-2 us,
+    IPI delivery ~1 us).
+    """
+
+    syscall_instructions: int = 300
+    context_switch_instructions: int = 3000
+    interrupt_entry_instructions: int = 600
+    ipi_deliver_ns: float = 1.0 * US
+    softirq_instructions: int = 1200
+    # Socket layer: skb alloc, queue, copy-to-user bookkeeping.
+    socket_rx_instructions: int = 2500
+    socket_wakeup_instructions: int = 900
+    socket_copy_instructions: int = 500
+    socket_tx_instructions: int = 2200
+    scheduler_pick_instructions: int = 500
+    timer_tick_ns: float = 1.0 * MS
+
+
+@dataclass(frozen=True)
+class NicParams:
+    """Costs internal to the NIC datapath (any NIC flavour)."""
+
+    # Streaming header decode (Ethernet+IP+UDP) through the pipeline.
+    parse_ns: float = 25.0
+    # Flow/endpoint table lookup.
+    demux_ns: float = 15.0
+    # RPC unmarshal offload per 64 B of payload (Optimus-Prime-like).
+    deserialize_ns_per_64b: float = 4.0
+    # Descriptor ring processing on the NIC side (DMA NICs).
+    descriptor_process_ns: float = 40.0
+    # Interrupt generation cost (MSI-X write) on the device.
+    interrupt_raise_ns: float = 100.0
+    # Lauberhorn: Tryagain timeout for blocked loads (paper: 15 ms).
+    tryagain_timeout_ns: float = 15.0 * MS
+    # Fixed cost of a DMA-fallback delivery beyond the bulk transfer:
+    # buffer allocation, IOMMU map, descriptor programming, completion.
+    dma_fallback_fixed_ns: float = 2500.0
+    # Lauberhorn: cycles of NIC pipeline to compose a CONTROL line.
+    compose_line_ns: float = 10.0
+    # Host driver path lengths (instructions) for descriptor NICs.
+    driver_rx_instructions: int = 600
+    driver_tx_instructions: int = 500
+    # Kernel-bypass PMD path lengths (instructions): poll-mode drivers
+    # touch descriptors directly in user space with no syscalls.
+    pmd_poll_instructions: int = 60
+    pmd_rx_instructions: int = 250
+    pmd_tx_instructions: int = 220
+    # RX descriptor ring depth per queue.
+    rx_ring_entries: int = 1024
+    # Completion descriptor size DMA'd per received frame.
+    descriptor_bytes: int = 32
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """A complete machine preset."""
+
+    name: str
+    n_cores: int
+    core: CoreParams
+    cache: CacheParams
+    os_costs: OsCostParams
+    nic: NicParams
+    interconnect: InterconnectParams
+    link_bps: float = 100e9 / 8  # 100 Gb/s network link, bytes/sec
+
+
+# --- Interconnect presets -------------------------------------------------
+
+#: Enzian Coherence Interface: 128 B lines, ~few hundred ns per one-way
+#: line transfer.  A blocked-load round trip (load request -> NIC
+#: response) lands around 700-800 ns, matching [21].
+ECI = InterconnectParams(
+    name="eci",
+    one_way_ns=350.0,
+    line_bytes=128,
+    bandwidth_bps=30e9,  # ECI sustains ~30 GB/s
+    mmio_read_ns=700.0,
+    mmio_write_ns=350.0,
+    dma_setup_ns=150.0,
+)
+
+#: CXL.mem 3.0 projection: 64 B lines, lower per-line latency than ECI.
+CXL3 = InterconnectParams(
+    name="cxl3",
+    one_way_ns=125.0,
+    line_bytes=64,
+    bandwidth_bps=56e9,  # x8 CXL 3.0
+    mmio_read_ns=250.0,
+    mmio_write_ns=125.0,
+    dma_setup_ns=100.0,
+)
+
+#: PCIe Gen3 x16 as found on Enzian's ThunderX socket: MMIO read ~800ns,
+#: posted write ~300ns, DMA engine with descriptor fetch round trips.
+PCIE_GEN3 = InterconnectParams(
+    name="pcie3",
+    one_way_ns=300.0,
+    line_bytes=None,
+    bandwidth_bps=12.5e9,
+    mmio_read_ns=800.0,
+    mmio_write_ns=300.0,
+    dma_setup_ns=200.0,
+)
+
+#: PCIe Gen5 x16 on a modern server: lower latency, much more bandwidth.
+PCIE_GEN5 = InterconnectParams(
+    name="pcie5",
+    one_way_ns=200.0,
+    line_bytes=None,
+    bandwidth_bps=55e9,
+    mmio_read_ns=500.0,
+    mmio_write_ns=200.0,
+    dma_setup_ns=120.0,
+)
+
+
+# --- Machine presets ------------------------------------------------------
+
+#: Enzian: 48-core Cavium ThunderX-1 @ 2 GHz, ECI to the FPGA.
+ENZIAN = MachineParams(
+    name="enzian-eci",
+    n_cores=48,
+    core=CoreParams(frequency=GHZ(2.0), cpi=1.2),
+    cache=CacheParams(line_bytes=128),
+    os_costs=OsCostParams(),
+    nic=NicParams(),
+    interconnect=ECI,
+)
+
+#: Enzian's CPU socket talking to a conventional PCIe Gen3 NIC.
+ENZIAN_PCIE = MachineParams(
+    name="enzian-pcie",
+    n_cores=48,
+    core=CoreParams(frequency=GHZ(2.0), cpi=1.2),
+    cache=CacheParams(line_bytes=128),
+    os_costs=OsCostParams(),
+    nic=NicParams(),
+    interconnect=PCIE_GEN3,
+)
+
+#: A modern PC server: 64 cores @ 3 GHz, PCIe Gen5 NIC.
+MODERN_SERVER = MachineParams(
+    name="modern-pcie",
+    n_cores=64,
+    core=CoreParams(frequency=GHZ(3.0), cpi=0.8),
+    cache=CacheParams(line_bytes=64),
+    os_costs=OsCostParams(
+        syscall_instructions=250,
+        context_switch_instructions=2500,
+        interrupt_entry_instructions=500,
+    ),
+    nic=NicParams(),
+    interconnect=PCIE_GEN5,
+)
+
+#: The same modern server with a CXL 3.0 coherent NIC (projection).
+MODERN_SERVER_CXL = MachineParams(
+    name="modern-cxl3",
+    n_cores=64,
+    core=CoreParams(frequency=GHZ(3.0), cpi=0.8),
+    cache=CacheParams(line_bytes=64),
+    os_costs=OsCostParams(
+        syscall_instructions=250,
+        context_switch_instructions=2500,
+        interrupt_entry_instructions=500,
+    ),
+    nic=NicParams(),
+    interconnect=CXL3,
+)

@@ -1,0 +1,16 @@
+"""Explicit-state model checking of the Lauberhorn protocol (S11)."""
+
+from .checker import CheckResult, ModelChecker, Spec, Violation
+from .lauberhorn_spec import LauberhornProtocolSpec, ProtocolConfig
+from .ownership_spec import OwnershipConfig, OwnershipSpec
+
+__all__ = [
+    "CheckResult",
+    "LauberhornProtocolSpec",
+    "ModelChecker",
+    "OwnershipConfig",
+    "OwnershipSpec",
+    "ProtocolConfig",
+    "Spec",
+    "Violation",
+]

@@ -1,0 +1,162 @@
+"""A small explicit-state model checker (TLA+-style).
+
+Section 6 of the paper: "the fine-grained concurrent interaction in
+Lauberhorn between application threads, OS kernel processes, the cache
+coherence protocol, and the NIC itself is subtle ... the problem is
+highly amenable to specification using TLA+, and can be model-checked
+for correctness relatively easily."
+
+This checker provides the TLC-equivalent machinery in Python: a
+specification declares initial states, a next-state relation (named
+actions), invariants, and a terminal predicate; the checker explores
+the reachable state space breadth-first, reporting
+
+* invariant violations (with the action trace that reaches them),
+* deadlocks (non-terminal states with no enabled action),
+* state count and graph depth — the "checked easily" evidence.
+
+States must be hashable and immutable (tuples / frozen dataclasses).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Optional
+
+__all__ = ["Spec", "Violation", "CheckResult", "ModelChecker"]
+
+State = Hashable
+
+
+class Spec:
+    """Base class for specifications."""
+
+    #: human-readable name for reports
+    name: str = "spec"
+
+    def initial_states(self) -> Iterable[State]:  # pragma: no cover
+        raise NotImplementedError
+
+    def actions(self, state: State) -> Iterable[tuple[str, State]]:
+        """Enabled transitions from ``state`` as (action_name, next)."""
+        raise NotImplementedError  # pragma: no cover
+
+    def invariants(self) -> list[tuple[str, Callable[[State], bool]]]:
+        """Named predicates that must hold in every reachable state."""
+        return []
+
+    def is_terminal(self, state: State) -> bool:
+        """States allowed to have no enabled actions."""
+        return False
+
+
+@dataclass(frozen=True)
+class Violation:
+    """An invariant violation or deadlock, with a counterexample."""
+
+    kind: str              # "invariant" or "deadlock"
+    name: str              # invariant name, or "" for deadlock
+    state: State
+    trace: tuple[str, ...]  # action names from an initial state
+
+
+@dataclass
+class CheckResult:
+    """Outcome of exhaustive exploration."""
+
+    spec_name: str
+    states_explored: int
+    transitions: int
+    max_depth: int
+    violation: Optional[Violation] = None
+    truncated: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None and not self.truncated
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else (
+            "TRUNCATED" if self.truncated and self.violation is None
+            else f"VIOLATION({self.violation.kind}:{self.violation.name})"
+        )
+        return (
+            f"{self.spec_name}: {status} — {self.states_explored} states, "
+            f"{self.transitions} transitions, depth {self.max_depth}"
+        )
+
+
+class ModelChecker:
+    """Breadth-first exhaustive exploration with trace reconstruction."""
+
+    def __init__(self, spec: Spec, max_states: int = 1_000_000):
+        self.spec = spec
+        self.max_states = max_states
+
+    def run(self) -> CheckResult:
+        spec = self.spec
+        invariants = spec.invariants()
+        # state -> (parent_state, action_name); None marks initial states
+        parents: dict[State, Optional[tuple[State, str]]] = {}
+        frontier: deque[tuple[State, int]] = deque()
+        transitions = 0
+        max_depth = 0
+
+        def trace_to(state: State) -> tuple[str, ...]:
+            names: list[str] = []
+            cursor: Optional[State] = state
+            while cursor is not None:
+                entry = parents[cursor]
+                if entry is None:
+                    break
+                cursor, action_name = entry
+                names.append(action_name)
+            return tuple(reversed(names))
+
+        def check_invariants(state: State) -> Optional[Violation]:
+            for inv_name, predicate in invariants:
+                if not predicate(state):
+                    return Violation("invariant", inv_name, state, trace_to(state))
+            return None
+
+        for initial in spec.initial_states():
+            if initial not in parents:
+                parents[initial] = None
+                frontier.append((initial, 0))
+                violation = check_invariants(initial)
+                if violation:
+                    return CheckResult(
+                        spec.name, len(parents), transitions, 0, violation
+                    )
+
+        while frontier:
+            state, depth = frontier.popleft()
+            max_depth = max(max_depth, depth)
+            enabled = list(spec.actions(state))
+            if not enabled and not spec.is_terminal(state):
+                return CheckResult(
+                    spec.name,
+                    len(parents),
+                    transitions,
+                    max_depth,
+                    Violation("deadlock", "", state, trace_to(state)),
+                )
+            for action_name, successor in enabled:
+                transitions += 1
+                if successor in parents:
+                    continue
+                parents[successor] = (state, action_name)
+                violation = check_invariants(successor)
+                if violation:
+                    return CheckResult(
+                        spec.name, len(parents), transitions, depth + 1, violation
+                    )
+                if len(parents) >= self.max_states:
+                    return CheckResult(
+                        spec.name, len(parents), transitions, max_depth,
+                        truncated=True,
+                    )
+                frontier.append((successor, depth + 1))
+
+        return CheckResult(spec.name, len(parents), transitions, max_depth)

@@ -1,0 +1,121 @@
+"""Specification of end-point ownership: two consumers, one end-point.
+
+This spec exists because the stress suite found exactly this bug in an
+earlier revision: the kernel dispatcher's promotion logic could claim a
+user end-point whose dedicated loop was momentarily unarmed (serving a
+request), leaving *two* cores cycling the same CONTROL lines.  The NIC
+then overwrote the first core's parked fill with the second's — and
+the first core's load was never answered: a silent core-hang.
+
+The model: one end-point, two CPUs that may each issue a load, and a
+NIC that either (correct) bounces a second fill with Tryagain, or
+(``bug="overwrite_park"``) replaces the parked fill, reproducing the
+original defect.  The ``NoOrphanedLoad`` invariant pins it: every CPU
+waiting on a fill must have that fill parked at the NIC (or already
+being answered) — an overwritten fill orphans its CPU forever.
+
+State tuple::
+
+    (cpu0, cpu1, parked_by, queue, answered0, answered1)
+
+* ``cpu{0,1}`` in {"idle", "waiting", "served"}
+* ``parked_by`` in {None, 0, 1}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from .checker import Spec
+
+__all__ = ["OwnershipSpec", "OwnershipConfig"]
+
+
+@dataclass(frozen=True)
+class OwnershipConfig:
+    total_packets: int = 2
+    #: None = correct protocol; "overwrite_park" = the historical bug
+    bug: Optional[str] = None
+
+
+class OwnershipSpec(Spec):
+    """Two consumers racing on one end-point."""
+
+    def __init__(self, config: OwnershipConfig = OwnershipConfig()):
+        self.config = config
+        self.name = "endpoint-ownership" + (
+            f"(bug={config.bug})" if config.bug else "(correct)"
+        )
+
+    def initial_states(self) -> Iterable[tuple]:
+        return [("idle", "idle", None, self.config.total_packets, 0, 0)]
+
+    def actions(self, state):
+        cpu0, cpu1, parked_by, queue, answered0, answered1 = state
+        out = []
+        cpus = [cpu0, cpu1]
+        answered = [answered0, answered1]
+
+        def make(which=None, phase=None, parked=parked_by, queue=queue,
+                 answer=None):
+            new_cpus = list(cpus)
+            new_answered = list(answered)
+            if which is not None and phase is not None:
+                new_cpus[which] = phase
+            if answer is not None:
+                new_answered[answer] += 1
+            return (new_cpus[0], new_cpus[1], parked, queue,
+                    new_answered[0], new_answered[1])
+
+        for index in range(2):
+            # A CPU issues its load.
+            if cpus[index] == "idle":
+                if parked_by is None:
+                    out.append((f"cpu{index}_load_parks",
+                                make(index, "waiting", parked=index)))
+                elif self.config.bug == "overwrite_park":
+                    # The defect: the new fill replaces the parked one;
+                    # the other CPU stays "waiting" with nothing parked.
+                    out.append((f"cpu{index}_load_overwrites",
+                                make(index, "waiting", parked=index)))
+                else:
+                    # Correct: the NIC bounces the second fill at once.
+                    out.append((f"cpu{index}_load_bounced",
+                                make(index, "idle")))
+            # The NIC answers the parked fill with a queued request.
+            if parked_by == index and cpus[index] == "waiting" and queue > 0:
+                out.append((f"nic_deliver_cpu{index}",
+                            make(index, "served", parked=None,
+                                 queue=queue - 1, answer=index)))
+            # Tryagain releases the parked fill.
+            if parked_by == index and cpus[index] == "waiting":
+                out.append((f"nic_tryagain_cpu{index}",
+                            make(index, "idle", parked=None)))
+            # A served CPU goes around again.
+            if cpus[index] == "served":
+                out.append((f"cpu{index}_done", make(index, "idle")))
+        return out
+
+    def invariants(self):
+        def no_orphaned_load(state):
+            """A waiting CPU's fill must be the parked one — a waiting
+            CPU whose fill is not parked can never be answered."""
+            cpu0, cpu1, parked_by, *_rest = state
+            for index, phase in enumerate((cpu0, cpu1)):
+                if phase == "waiting" and parked_by != index:
+                    return False
+            return True
+
+        def single_parked(state):
+            # structural: parked_by is a scalar, so this is by
+            # construction; kept as documentation of the requirement.
+            return True
+
+        return [
+            ("NoOrphanedLoad", no_orphaned_load),
+            ("SingleParkedFill", single_parked),
+        ]
+
+    def is_terminal(self, state) -> bool:
+        return False

@@ -1,0 +1,23 @@
+"""Measurement utilities: latency, energy, CPU cycles (S13)."""
+
+from .cycles import CycleWindow, PerRequestCost
+from .energy import EnergyBreakdown, PowerParams, core_energy, machine_energy
+from .histogram import LatencyRecorder, LatencySummary, percentile
+from .stats import MeanCI, bootstrap_ci, mean, stddev, t_confidence_interval
+
+__all__ = [
+    "CycleWindow",
+    "EnergyBreakdown",
+    "LatencyRecorder",
+    "LatencySummary",
+    "PerRequestCost",
+    "PowerParams",
+    "core_energy",
+    "machine_energy",
+    "percentile",
+    "MeanCI",
+    "bootstrap_ci",
+    "mean",
+    "stddev",
+    "t_confidence_interval",
+]

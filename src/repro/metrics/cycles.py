@@ -1,0 +1,64 @@
+"""Per-request CPU-cost measurement windows.
+
+E2/E3/E4 report "software cycles per RPC": snapshot all core counters,
+run load, snapshot again, divide by completed requests.  The
+:class:`CycleWindow` helper packages that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.machine import Machine
+
+__all__ = ["CycleWindow", "PerRequestCost"]
+
+
+@dataclass(frozen=True)
+class PerRequestCost:
+    """Aggregate per-request CPU cost over a window."""
+
+    requests: int
+    busy_ns_per_request: float
+    instructions_per_request: float
+    stall_ns_per_request: float
+
+    def cycles_per_request(self, ghz: float) -> float:
+        return self.busy_ns_per_request * ghz
+
+
+class CycleWindow:
+    """Brackets a measurement interval over a machine's cores."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self._snapshots = None
+        self._start_ns = None
+
+    def begin(self) -> None:
+        self._snapshots = [core.counters.snapshot() for core in self.machine.cores]
+        self._start_ns = self.machine.sim.now
+
+    def end(self, requests: int) -> PerRequestCost:
+        if self._snapshots is None:
+            raise RuntimeError("begin() was not called")
+        if requests <= 0:
+            raise ValueError("requests must be positive")
+        busy = instructions = stall = 0.0
+        for core, snap in zip(self.machine.cores, self._snapshots):
+            delta = core.counters.delta(snap)
+            busy += delta.busy_ns
+            instructions += delta.instructions
+            stall += delta.stall_ns
+        return PerRequestCost(
+            requests=requests,
+            busy_ns_per_request=busy / requests,
+            instructions_per_request=instructions / requests,
+            stall_ns_per_request=stall / requests,
+        )
+
+    @property
+    def elapsed_ns(self) -> float:
+        if self._start_ns is None:
+            raise RuntimeError("begin() was not called")
+        return self.machine.sim.now - self._start_ns

@@ -1,0 +1,78 @@
+"""A first-order CPU energy model.
+
+The paper's efficiency argument distinguishes three core states with
+very different power draw:
+
+* **busy** — retiring instructions (spinning counts!);
+* **stalled** — waiting on a memory/coherence fill: the pipeline is
+  quiescent, clock gating applies (the Lauberhorn blocked load);
+* **idle** — halted in the idle loop (WFI/mwait), deepest savings.
+
+Default wattages are in the regime of a server-class core
+(~2-3 W/core busy, a third of that stalled, an order of magnitude less
+halted).  E6 uses this to compare spin-polling vs. interrupt vs.
+blocked-load+Tryagain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.core import Core
+
+__all__ = ["PowerParams", "EnergyBreakdown", "core_energy", "machine_energy"]
+
+
+@dataclass(frozen=True)
+class PowerParams:
+    busy_watts: float = 2.5
+    stall_watts: float = 0.9
+    idle_watts: float = 0.25
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules spent per state over a measurement window."""
+
+    busy_j: float
+    stall_j: float
+    idle_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.busy_j + self.stall_j + self.idle_j
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            self.busy_j + other.busy_j,
+            self.stall_j + other.stall_j,
+            self.idle_j + other.idle_j,
+        )
+
+
+def core_energy(
+    core: Core, window_ns: float, power: PowerParams = PowerParams()
+) -> EnergyBreakdown:
+    """Energy of one core over ``window_ns`` of wall-clock (counting any
+    in-progress stall up to 'now')."""
+    if window_ns <= 0:
+        raise ValueError("window must be positive")
+    busy = min(core.counters.busy_ns, window_ns)
+    stall = min(core.stall_ns_now(), window_ns - busy)
+    idle = max(0.0, window_ns - busy - stall)
+    to_joules = 1e-9
+    return EnergyBreakdown(
+        busy_j=busy * to_joules * power.busy_watts,
+        stall_j=stall * to_joules * power.stall_watts,
+        idle_j=idle * to_joules * power.idle_watts,
+    )
+
+
+def machine_energy(
+    cores, window_ns: float, power: PowerParams = PowerParams()
+) -> EnergyBreakdown:
+    """Sum of :func:`core_energy` over ``cores``."""
+    total = EnergyBreakdown(0.0, 0.0, 0.0)
+    for core in cores:
+        total = total + core_energy(core, window_ns, power)
+    return total

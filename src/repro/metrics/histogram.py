@@ -1,0 +1,87 @@
+"""Latency collection and percentile summaries."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["percentile", "LatencySummary", "LatencyRecorder"]
+
+
+def percentile(sorted_samples: Sequence[float], p: float) -> float:
+    """Linear-interpolation percentile of pre-sorted samples.
+
+    ``p`` in [0, 100].
+    """
+    if not sorted_samples:
+        raise ValueError("no samples")
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile out of range: {p}")
+    if len(sorted_samples) == 1:
+        return sorted_samples[0]
+    rank = (p / 100) * (len(sorted_samples) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return sorted_samples[low]
+    frac = rank - low
+    return sorted_samples[low] * (1 - frac) + sorted_samples[high] * frac
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """The usual suspects, in the unit the samples were recorded in."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    p999: float
+    minimum: float
+    maximum: float
+
+    def row(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "p999": self.p999,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+class LatencyRecorder:
+    """Accumulates samples; summarises on demand."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: list[float] = []
+
+    def record(self, value: float) -> None:
+        self.samples.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        self.samples.extend(values)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def summary(self) -> LatencySummary:
+        if not self.samples:
+            raise ValueError(f"recorder {self.name!r} has no samples")
+        ordered = sorted(self.samples)
+        return LatencySummary(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=percentile(ordered, 50),
+            p90=percentile(ordered, 90),
+            p99=percentile(ordered, 99),
+            p999=percentile(ordered, 99.9),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+        )

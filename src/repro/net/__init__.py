@@ -1,0 +1,41 @@
+"""Network substrate: wire formats, links, and a switch (S4)."""
+
+from .checksum import internet_checksum, verify_checksum
+from .headers import (
+    ETHERTYPE_IPV4,
+    IPPROTO_UDP,
+    EthernetHeader,
+    HeaderError,
+    Ipv4Header,
+    MacAddress,
+    UdpHeader,
+)
+from .link import Link, LinkStats, Port, SwitchFabric
+from .packet import (
+    Frame,
+    ParsedUdp,
+    build_udp_frame,
+    ip_address,
+    parse_udp_frame,
+)
+
+__all__ = [
+    "ETHERTYPE_IPV4",
+    "EthernetHeader",
+    "Frame",
+    "HeaderError",
+    "IPPROTO_UDP",
+    "Ipv4Header",
+    "Link",
+    "LinkStats",
+    "MacAddress",
+    "ParsedUdp",
+    "Port",
+    "SwitchFabric",
+    "UdpHeader",
+    "build_udp_frame",
+    "internet_checksum",
+    "ip_address",
+    "parse_udp_frame",
+    "verify_checksum",
+]

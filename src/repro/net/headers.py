@@ -1,0 +1,195 @@
+"""Byte-exact Ethernet II, IPv4, and UDP headers.
+
+The Lauberhorn FPGA pipeline streams frames through header decoders
+(Section 5.1); our simulated NICs do the same over these parsers, so
+demultiplexing operates on real wire bytes rather than Python objects.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from .checksum import internet_checksum
+
+__all__ = [
+    "MacAddress",
+    "EthernetHeader",
+    "Ipv4Header",
+    "UdpHeader",
+    "HeaderError",
+    "ETHERTYPE_IPV4",
+    "IPPROTO_UDP",
+]
+
+ETHERTYPE_IPV4 = 0x0800
+IPPROTO_UDP = 17
+
+
+class HeaderError(ValueError):
+    """Malformed or truncated header."""
+
+
+@dataclass(frozen=True)
+class MacAddress:
+    """A 48-bit Ethernet address."""
+
+    value: int
+
+    def __post_init__(self):
+        if not 0 <= self.value < (1 << 48):
+            raise HeaderError(f"MAC out of range: {self.value:#x}")
+
+    @classmethod
+    def from_string(cls, text: str) -> "MacAddress":
+        parts = text.split(":")
+        if len(parts) != 6:
+            raise HeaderError(f"bad MAC string: {text!r}")
+        return cls(int("".join(parts), 16))
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "MacAddress":
+        if len(raw) != 6:
+            raise HeaderError(f"MAC needs 6 bytes, got {len(raw)}")
+        return cls(int.from_bytes(raw, "big"))
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(6, "big")
+
+    def __str__(self) -> str:
+        raw = self.to_bytes()
+        return ":".join(f"{b:02x}" for b in raw)
+
+
+@dataclass(frozen=True)
+class EthernetHeader:
+    """Ethernet II header (no VLAN tags, no FCS)."""
+
+    dst: MacAddress
+    src: MacAddress
+    ethertype: int = ETHERTYPE_IPV4
+
+    SIZE = 14
+
+    def pack(self) -> bytes:
+        return self.dst.to_bytes() + self.src.to_bytes() + struct.pack(
+            "!H", self.ethertype
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "EthernetHeader":
+        if len(raw) < cls.SIZE:
+            raise HeaderError(f"Ethernet header truncated: {len(raw)} B")
+        return cls(
+            dst=MacAddress.from_bytes(raw[0:6]),
+            src=MacAddress.from_bytes(raw[6:12]),
+            ethertype=struct.unpack("!H", raw[12:14])[0],
+        )
+
+
+@dataclass(frozen=True)
+class Ipv4Header:
+    """IPv4 header without options (IHL = 5)."""
+
+    src: int  # 32-bit address
+    dst: int
+    total_length: int
+    protocol: int = IPPROTO_UDP
+    ttl: int = 64
+    identification: int = 0
+    dscp: int = 0
+
+    SIZE = 20
+
+    def pack(self) -> bytes:
+        version_ihl = (4 << 4) | 5
+        header = struct.pack(
+            "!BBHHHBBH4s4s",
+            version_ihl,
+            self.dscp << 2,
+            self.total_length,
+            self.identification,
+            0,  # flags/fragment offset
+            self.ttl,
+            self.protocol,
+            0,  # checksum placeholder
+            self.src.to_bytes(4, "big"),
+            self.dst.to_bytes(4, "big"),
+        )
+        checksum = internet_checksum(header)
+        return header[:10] + struct.pack("!H", checksum) + header[12:]
+
+    @classmethod
+    def unpack(cls, raw: bytes, verify: bool = True) -> "Ipv4Header":
+        if len(raw) < cls.SIZE:
+            raise HeaderError(f"IPv4 header truncated: {len(raw)} B")
+        (
+            version_ihl,
+            dscp_ecn,
+            total_length,
+            identification,
+            _flags_frag,
+            ttl,
+            protocol,
+            _checksum,
+            src_raw,
+            dst_raw,
+        ) = struct.unpack("!BBHHHBBH4s4s", raw[: cls.SIZE])
+        version, ihl = version_ihl >> 4, version_ihl & 0xF
+        if version != 4:
+            raise HeaderError(f"not IPv4 (version={version})")
+        if ihl != 5:
+            raise HeaderError(f"IPv4 options unsupported (ihl={ihl})")
+        if verify and internet_checksum(raw[: cls.SIZE]) != 0:
+            raise HeaderError("IPv4 header checksum mismatch")
+        return cls(
+            src=int.from_bytes(src_raw, "big"),
+            dst=int.from_bytes(dst_raw, "big"),
+            total_length=total_length,
+            protocol=protocol,
+            ttl=ttl,
+            identification=identification,
+            dscp=dscp_ecn >> 2,
+        )
+
+
+@dataclass(frozen=True)
+class UdpHeader:
+    """UDP header; the checksum covers the RFC 768 pseudo-header."""
+
+    src_port: int
+    dst_port: int
+    length: int
+    checksum: int = 0
+
+    SIZE = 8
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            "!HHHH", self.src_port, self.dst_port, self.length, self.checksum
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "UdpHeader":
+        if len(raw) < cls.SIZE:
+            raise HeaderError(f"UDP header truncated: {len(raw)} B")
+        src_port, dst_port, length, checksum = struct.unpack("!HHHH", raw[:8])
+        return cls(src_port, dst_port, length, checksum)
+
+    @staticmethod
+    def compute_checksum(
+        src_ip: int, dst_ip: int, src_port: int, dst_port: int, payload: bytes
+    ) -> int:
+        length = UdpHeader.SIZE + len(payload)
+        pseudo = struct.pack(
+            "!4s4sBBH",
+            src_ip.to_bytes(4, "big"),
+            dst_ip.to_bytes(4, "big"),
+            0,
+            IPPROTO_UDP,
+            length,
+        )
+        segment = struct.pack("!HHHH", src_port, dst_port, length, 0) + payload
+        checksum = internet_checksum(pseudo + segment)
+        # RFC 768: a computed zero is transmitted as all ones.
+        return checksum or 0xFFFF

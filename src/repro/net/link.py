@@ -1,0 +1,155 @@
+"""Point-to-point link and switch fabric models.
+
+A :class:`Link` serialises frames at line rate and delays them by the
+propagation time; a :class:`SwitchFabric` connects many ports and
+forwards by destination MAC with a fixed switching latency.  This is
+all the "network" the paper's experiments need: the argument is about
+*end-system* latency, so the wire exists mainly to carry byte-exact
+frames between a load generator and the server under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..sim.clock import bytes_time_ns
+from ..sim.engine import Simulator
+from ..sim.resources import Store
+from .headers import MacAddress
+from .packet import Frame
+
+__all__ = ["LinkStats", "Link", "SwitchFabric", "Port"]
+
+
+@dataclass
+class LinkStats:
+    frames: int = 0
+    bytes: int = 0
+    dropped: int = 0
+
+
+class Link:
+    """Unidirectional link: serialisation + propagation, FIFO order."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float = 100e9 / 8,
+        propagation_ns: float = 500.0,
+        queue_frames: Optional[int] = None,
+        name: str = "",
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_ns = propagation_ns
+        self.name = name
+        self.stats = LinkStats()
+        self.rx_queue: Store = Store(sim, capacity=queue_frames, name=f"{name}.rx")
+        #: next time the transmitter is free (models serialisation).
+        self._tx_free_at = 0.0
+
+    def serialization_ns(self, frame: Frame) -> float:
+        return bytes_time_ns(frame.wire_bytes, self.bandwidth_bps)
+
+    def send(self, frame: Frame):
+        """Transmit ``frame``; generator returning once it is on the wire.
+
+        Delivery into the receiver's queue happens ``propagation_ns``
+        after the last bit leaves.  Frames that arrive to a full queue
+        are dropped (tail drop), which the stats record.
+        """
+        start = max(self.sim.now, self._tx_free_at)
+        done = start + self.serialization_ns(frame)
+        self._tx_free_at = done
+        yield self.sim.timeout(done - self.sim.now)
+        self.stats.frames += 1
+        self.stats.bytes += frame.wire_bytes
+
+        def deliver():
+            yield self.sim.timeout(self.propagation_ns)
+            if not self.rx_queue.try_put(frame):
+                self.stats.dropped += 1
+
+        self.sim.process(deliver())
+        return None
+
+    def receive(self):
+        """Generator yielding until a frame is available; returns it."""
+        frame = yield self.rx_queue.get()
+        return frame
+
+
+class Port:
+    """A bidirectional attachment point on a :class:`SwitchFabric`."""
+
+    def __init__(self, fabric: "SwitchFabric", mac: MacAddress, name: str = ""):
+        self.fabric = fabric
+        self.mac = mac
+        self.name = name or str(mac)
+        self.ingress = Link(
+            fabric.sim,
+            fabric.bandwidth_bps,
+            fabric.port_latency_ns,
+            name=f"{self.name}.in",
+        )
+        self.egress = Link(
+            fabric.sim,
+            fabric.bandwidth_bps,
+            fabric.port_latency_ns,
+            name=f"{self.name}.out",
+        )
+
+    def send(self, frame: Frame):
+        """Send into the fabric; generator."""
+        yield from self.ingress.send(frame)
+        return None
+
+    def receive(self):
+        """Receive from the fabric; generator returning a Frame."""
+        frame = yield from self.egress.receive()
+        return frame
+
+
+class SwitchFabric:
+    """A store-and-forward switch keyed by destination MAC."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float = 100e9 / 8,
+        port_latency_ns: float = 250.0,
+        switching_ns: float = 300.0,
+    ):
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.port_latency_ns = port_latency_ns
+        self.switching_ns = switching_ns
+        self.ports: dict[int, Port] = {}
+        self.unknown_dst_drops = 0
+
+    def attach(self, mac: MacAddress, name: str = "") -> Port:
+        """Create a port for ``mac`` and start its forwarding loop."""
+        if mac.value in self.ports:
+            raise ValueError(f"MAC {mac} already attached")
+        port = Port(self, mac, name)
+        self.ports[mac.value] = port
+        self.sim.process(self._forward_loop(port), name=f"switch-fwd-{port.name}")
+        return port
+
+    def _forward_loop(self, port: Port):
+        from .headers import EthernetHeader
+
+        while True:
+            frame = yield from port.ingress.receive()
+            yield self.sim.timeout(self.switching_ns)
+            eth = EthernetHeader.unpack(frame.data)
+            target = self.ports.get(eth.dst.value)
+            if target is None:
+                self.unknown_dst_drops += 1
+                continue
+            # Egress serialisation runs in its own process so one slow
+            # output port does not head-of-line block the whole switch.
+            self.sim.process(target.egress.send(frame))

@@ -1,0 +1,17 @@
+"""NIC models: DMA/interrupt, kernel-bypass, Lauberhorn (S5-S7)."""
+
+from .base import BaseNic, NicStats
+from .bypass import BypassNic, BypassQueue
+from .dma import DmaNic, RxQueue
+from .rss import rss_hash, rss_queue_index
+
+__all__ = [
+    "BaseNic",
+    "BypassNic",
+    "BypassQueue",
+    "DmaNic",
+    "NicStats",
+    "RxQueue",
+    "rss_hash",
+    "rss_queue_index",
+]

@@ -1,0 +1,80 @@
+"""Common NIC device machinery.
+
+Every NIC flavour in the reproduction (DMA/interrupt, kernel-bypass,
+Lauberhorn) attaches to a switch :class:`~repro.net.link.Port` for the
+wire side, and exposes:
+
+* ``transmit(frame, core)`` — the CPU-side submit path (what the
+  kernel/driver or user-space PMD pays to hand a frame to the device);
+* an internal RX loop simulation process that models the device
+  pipeline and delivers frames host-side by whatever mechanism the
+  flavour uses (IRQ+ring, user-polled ring, or coherent cache lines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.machine import Machine
+from ..net.link import Port
+from ..net.packet import Frame
+from ..sim.resources import Store
+
+__all__ = ["NicStats", "BaseNic"]
+
+
+@dataclass
+class NicStats:
+    rx_frames: int = 0
+    rx_dropped: int = 0
+    tx_frames: int = 0
+
+
+class BaseNic:
+    """Shared plumbing: the port, the TX engine queue, stats."""
+
+    def __init__(self, machine: Machine, port: Port, name: str = "nic"):
+        self.machine = machine
+        self.sim = machine.sim
+        self.params = machine.params.nic
+        self.link = machine.link
+        self.port = port
+        self.name = name
+        self.stats = NicStats()
+        self._tx_engine: Store = Store(self.sim, name=f"{name}.txq")
+        self._started = False
+
+    def start(self) -> None:
+        """Spawn the device's RX and TX engine loops (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.process(self._rx_loop(), name=f"{self.name}-rx")
+        self.sim.process(self._tx_loop(), name=f"{self.name}-tx")
+
+    # -- wire-side TX engine ----------------------------------------------------
+
+    def _tx_loop(self):
+        while True:
+            frame = yield self._tx_engine.get()
+            yield from self._tx_frame(frame)
+            self.stats.tx_frames += 1
+            yield from self.port.send(frame)
+
+    def _tx_frame(self, frame: Frame):
+        """Device-side work before a frame hits the wire; overridable."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def queue_tx(self, frame: Frame) -> None:
+        """Hand a frame to the device TX engine (device-side call)."""
+        self._tx_engine.try_put(frame)
+
+    # -- subclass responsibilities ------------------------------------------------
+
+    def _rx_loop(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def transmit(self, frame: Frame, core):  # pragma: no cover - abstract
+        """CPU-side submit path; generator run on ``core``."""
+        raise NotImplementedError

@@ -1,0 +1,20 @@
+"""Lauberhorn: the paper's OS-integrated cache-coherent NIC (S7)."""
+
+from . import wire
+from .endpoint import Endpoint, EndpointKind, InflightRequest, PendingRequest
+from .loadstats import LoadStats, ServiceLoad
+from .nic import LauberhornNic, LauberhornStats
+from .sched_state import SchedTable
+
+__all__ = [
+    "Endpoint",
+    "EndpointKind",
+    "InflightRequest",
+    "LauberhornNic",
+    "LauberhornStats",
+    "LoadStats",
+    "PendingRequest",
+    "SchedTable",
+    "ServiceLoad",
+    "wire",
+]

@@ -1,0 +1,78 @@
+"""Per-service load statistics gathered by the NIC (Section 5.2).
+
+"this can be initiated by the kernel scheduler, or by Lauberhorn based
+on statistics it gathers about the instantaneous load on each server
+process" — these counters are that statistic source.  The OS-side
+rebalancer (:class:`repro.os.nicsched.NicScheduler`) reads them over
+the kernel control channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ServiceLoad", "LoadStats"]
+
+
+@dataclass
+class ServiceLoad:
+    """Load view of one service."""
+
+    service_id: int
+    arrivals: int = 0
+    delivered_fast: int = 0       # answered an armed user end-point
+    delivered_kernel: int = 0     # dispatched via a kernel channel
+    queued: int = 0               # placed in a backlog
+    dropped: int = 0
+    completed: int = 0
+    #: current total backlog across this service's end-points + global
+    backlog_now: int = 0
+    #: EWMA inter-arrival estimate (ns); 0 until two arrivals seen
+    ewma_interarrival_ns: float = 0.0
+    last_arrival_ns: float = -1.0
+
+    def note_arrival(self, now_ns: float, alpha: float = 0.2) -> None:
+        self.arrivals += 1
+        if self.last_arrival_ns >= 0:
+            gap = now_ns - self.last_arrival_ns
+            if self.ewma_interarrival_ns == 0.0:
+                self.ewma_interarrival_ns = gap
+            else:
+                self.ewma_interarrival_ns += alpha * (gap - self.ewma_interarrival_ns)
+        self.last_arrival_ns = now_ns
+
+    def arrival_rate_per_sec(self) -> float:
+        if self.ewma_interarrival_ns <= 0:
+            return 0.0
+        return 1e9 / self.ewma_interarrival_ns
+
+
+class LoadStats:
+    """All services' load counters."""
+
+    def __init__(self):
+        self._services: dict[int, ServiceLoad] = {}
+
+    def service(self, service_id: int) -> ServiceLoad:
+        load = self._services.get(service_id)
+        if load is None:
+            load = ServiceLoad(service_id)
+            self._services[service_id] = load
+        return load
+
+    def all(self) -> list[ServiceLoad]:
+        return list(self._services.values())
+
+    def hottest(self, n: int = 1) -> list[ServiceLoad]:
+        """Services by descending arrival rate."""
+        return sorted(
+            self._services.values(),
+            key=lambda s: s.arrival_rate_per_sec(),
+            reverse=True,
+        )[:n]
+
+    def most_backlogged(self) -> "ServiceLoad | None":
+        candidates = [s for s in self._services.values() if s.backlog_now > 0]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda s: s.backlog_now)

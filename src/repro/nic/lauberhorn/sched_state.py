@@ -1,0 +1,51 @@
+"""Scheduling state shared between the kernel and the NIC.
+
+Section 4: "since the NIC is responsible for demultiplexing an incoming
+packet to an application end-point, it should have access to all the
+relevant OS state: which processes are currently in the run queues on
+which cores, which are currently executing, and which are waiting."
+
+The kernel pushes an update on every context switch (one posted store
+to a NIC-homed line — the cost is charged on the switching core, see
+``sched_push_instructions``); the NIC additionally *infers* arming
+state from the cache traffic it observes (a parked fill on an
+end-point's CONTROL line **is** the information that a core is
+waiting there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["SchedTable"]
+
+
+@dataclass
+class SchedTable:
+    """The NIC's mirror of kernel scheduling state."""
+
+    #: core id -> pid of the process last dispatched there
+    core_process: dict[int, int] = field(default_factory=dict)
+    #: pid -> set of cores currently hosting it
+    process_cores: dict[int, set[int]] = field(default_factory=dict)
+    #: number of updates received (E8 counts these)
+    updates: int = 0
+
+    def record_switch(self, core_id: int, pid: int) -> None:
+        previous = self.core_process.get(core_id)
+        if previous is not None:
+            cores = self.process_cores.get(previous)
+            if cores is not None:
+                cores.discard(core_id)
+                if not cores:
+                    del self.process_cores[previous]
+        self.core_process[core_id] = pid
+        self.process_cores.setdefault(pid, set()).add(core_id)
+        self.updates += 1
+
+    def is_running(self, pid: int) -> bool:
+        return bool(self.process_cores.get(pid))
+
+    def cores_of(self, pid: int) -> frozenset[int]:
+        return frozenset(self.process_cores.get(pid, ()))

@@ -1,0 +1,21 @@
+"""Operating system model: kernel, scheduler, netstack (S8/S9)."""
+
+from . import ops
+from .kernel import Irq, Kernel, KernelError
+from .netstack import Datagram, NetStack, UdpSocket
+from .process import OsProcess, OsThread, ThreadState
+from .scheduler import Scheduler
+
+__all__ = [
+    "Datagram",
+    "Irq",
+    "Kernel",
+    "KernelError",
+    "NetStack",
+    "OsProcess",
+    "OsThread",
+    "Scheduler",
+    "ThreadState",
+    "UdpSocket",
+    "ops",
+]

@@ -1,0 +1,30 @@
+"""RPC layer: wire format, marshalling, services (S10)."""
+
+from .marshal import (
+    MarshalError,
+    count_fields,
+    marshal_args,
+    software_marshal_instructions,
+    software_unmarshal_instructions,
+    unmarshal_args,
+)
+from .message import RPC_MAGIC, RpcError, RpcHeader, RpcMessage, RpcType
+from .service import MethodDef, ServiceDef, ServiceError, ServiceRegistry
+
+__all__ = [
+    "MarshalError",
+    "MethodDef",
+    "RPC_MAGIC",
+    "RpcError",
+    "RpcHeader",
+    "RpcMessage",
+    "RpcType",
+    "ServiceDef",
+    "ServiceError",
+    "ServiceRegistry",
+    "count_fields",
+    "marshal_args",
+    "software_marshal_instructions",
+    "software_unmarshal_instructions",
+    "unmarshal_args",
+]

@@ -1,0 +1,172 @@
+"""Argument marshalling, with software and accelerator cost models.
+
+The wire encoding is a small tag-length-value scheme good enough to
+carry realistic microservice arguments (ints, floats, byte strings,
+text, lists).  What matters for the reproduction is not the encoding
+itself but the *cost model*: deserialisation is one of the receive-path
+steps (step 10 in Section 2) that Lauberhorn moves into NIC hardware
+using Optimus-Prime-style transformation engines, while kernel and
+bypass stacks pay for it in software on the critical path.
+
+* :func:`software_unmarshal_instructions` — instructions a CPU spends
+  deserialising a payload (per-message fixed cost + per-field + per-byte),
+  calibrated to the tens-of-ns-per-small-message regime reported by the
+  serialisation-accelerator literature (Cereal, Optimus Prime).
+* The NIC-side cost is time-based and lives in
+  :class:`~repro.hw.params.NicParams` (``deserialize_ns_per_64b``).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Sequence
+
+__all__ = [
+    "MarshalError",
+    "marshal_args",
+    "unmarshal_args",
+    "software_marshal_instructions",
+    "software_unmarshal_instructions",
+    "count_fields",
+]
+
+
+class MarshalError(ValueError):
+    """Malformed marshalled payload."""
+
+
+_TAG_INT = 1
+_TAG_BYTES = 2
+_TAG_STR = 3
+_TAG_FLOAT = 4
+_TAG_LIST = 5
+_TAG_NONE = 6
+_TAG_BOOL = 7
+
+
+def marshal_args(args: Sequence[Any]) -> bytes:
+    """Encode a sequence of arguments into payload bytes."""
+    if len(args) > 255:
+        raise MarshalError(f"too many arguments: {len(args)}")
+    out = bytearray([len(args)])
+    for arg in args:
+        out += _encode(arg)
+    return bytes(out)
+
+
+def unmarshal_args(payload: bytes) -> list[Any]:
+    """Decode payload bytes back into a list of arguments."""
+    if not payload:
+        raise MarshalError("empty payload")
+    count = payload[0]
+    offset = 1
+    args: list[Any] = []
+    for _ in range(count):
+        value, offset = _decode(payload, offset)
+        args.append(value)
+    if offset != len(payload):
+        raise MarshalError(f"{len(payload) - offset} trailing bytes")
+    return args
+
+
+def _encode(value: Any) -> bytes:
+    # bool must be tested before int (bool is an int subclass).
+    if value is None:
+        return bytes([_TAG_NONE])
+    if isinstance(value, bool):
+        return bytes([_TAG_BOOL, 1 if value else 0])
+    if isinstance(value, int):
+        return bytes([_TAG_INT]) + struct.pack("!q", value)
+    if isinstance(value, float):
+        return bytes([_TAG_FLOAT]) + struct.pack("!d", value)
+    if isinstance(value, bytes):
+        return bytes([_TAG_BYTES]) + struct.pack("!I", len(value)) + value
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return bytes([_TAG_STR]) + struct.pack("!I", len(raw)) + raw
+    if isinstance(value, (list, tuple)):
+        if len(value) > 0xFFFF:
+            raise MarshalError(f"list too long: {len(value)}")
+        out = bytearray([_TAG_LIST]) + struct.pack("!H", len(value))
+        for item in value:
+            out += _encode(item)
+        return bytes(out)
+    raise MarshalError(f"unsupported argument type: {type(value).__name__}")
+
+
+def _need(payload: bytes, offset: int, n: int) -> None:
+    if offset + n > len(payload):
+        raise MarshalError(f"truncated at offset {offset} (need {n} B)")
+
+
+def _decode(payload: bytes, offset: int) -> tuple[Any, int]:
+    _need(payload, offset, 1)
+    tag = payload[offset]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_BOOL:
+        _need(payload, offset, 1)
+        return bool(payload[offset]), offset + 1
+    if tag == _TAG_INT:
+        _need(payload, offset, 8)
+        return struct.unpack("!q", payload[offset : offset + 8])[0], offset + 8
+    if tag == _TAG_FLOAT:
+        _need(payload, offset, 8)
+        return struct.unpack("!d", payload[offset : offset + 8])[0], offset + 8
+    if tag in (_TAG_BYTES, _TAG_STR):
+        _need(payload, offset, 4)
+        length = struct.unpack("!I", payload[offset : offset + 4])[0]
+        offset += 4
+        _need(payload, offset, length)
+        raw = payload[offset : offset + length]
+        offset += length
+        return (raw if tag == _TAG_BYTES else raw.decode("utf-8")), offset
+    if tag == _TAG_LIST:
+        _need(payload, offset, 2)
+        count = struct.unpack("!H", payload[offset : offset + 2])[0]
+        offset += 2
+        items = []
+        for _ in range(count):
+            item, offset = _decode(payload, offset)
+            items.append(item)
+        return items, offset
+    raise MarshalError(f"unknown tag {tag} at offset {offset - 1}")
+
+
+def count_fields(args: Sequence[Any]) -> int:
+    """Number of leaf fields, counting list elements individually."""
+    total = 0
+    for arg in args:
+        if isinstance(arg, (list, tuple)):
+            total += count_fields(arg)
+        else:
+            total += 1
+    return total
+
+
+# Software (de)serialisation path-length model.  Calibrated against the
+# per-message overheads motivating the accelerator line of work: a small
+# protobuf-like message costs a few hundred ns of CPU.
+_FIXED_INSTRUCTIONS = 120
+_PER_FIELD_INSTRUCTIONS = 40
+_PER_BYTE_INSTRUCTIONS = 0.6
+
+
+def software_marshal_instructions(n_fields: int, n_bytes: int) -> int:
+    """Instructions to serialise ``n_fields`` spanning ``n_bytes``."""
+    return int(
+        _FIXED_INSTRUCTIONS
+        + _PER_FIELD_INSTRUCTIONS * n_fields
+        + _PER_BYTE_INSTRUCTIONS * n_bytes
+    )
+
+
+def software_unmarshal_instructions(n_fields: int, n_bytes: int) -> int:
+    """Instructions to deserialise; slightly dearer than serialising
+    (validation, allocation)."""
+    return int(
+        _FIXED_INSTRUCTIONS * 1.5
+        + _PER_FIELD_INSTRUCTIONS * 1.25 * n_fields
+        + _PER_BYTE_INSTRUCTIONS * n_bytes
+    )

@@ -1,0 +1,146 @@
+"""Service and method registry.
+
+A *service* is the unit of demultiplexing (one UDP port, one process);
+a *method* is the unit of dispatch (one handler function, one code
+pointer).  The registry holds exactly the information the paper says
+the OS/application provide to Lauberhorn "in advance" (Section 5.1):
+for each (service, method), the *code pointer* and *data pointer* the
+NIC hands the CPU so it can jump straight into the handler.
+
+Handler compute cost is explicit (`cost_instructions`), since the
+simulation charges CPU time rather than running real handler code; the
+handler function itself runs in zero simulated time to produce the
+response *values*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+__all__ = ["MethodDef", "ServiceDef", "ServiceRegistry", "ServiceError"]
+
+
+class ServiceError(KeyError):
+    """Unknown service or method."""
+
+
+#: Synthetic virtual address layout for handler entry points: readable
+#: in traces, unique per (service, method).
+_CODE_BASE = 0x4000_0000_0000
+_DATA_BASE = 0x7F00_0000_0000
+
+
+@dataclass
+class MethodDef:
+    """One RPC method: handler + cost model + synthetic pointers."""
+
+    method_id: int
+    name: str
+    handler: Callable[[Sequence[Any]], Sequence[Any]]
+    #: CPU instructions the handler body consumes; either a constant or
+    #: a callable of the (unmarshalled) argument list.
+    cost_instructions: int | Callable[[Sequence[Any]], int] = 1000
+    code_ptr: int = 0
+
+    def cost_for(self, args: Sequence[Any]) -> int:
+        if callable(self.cost_instructions):
+            return int(self.cost_instructions(args))
+        return int(self.cost_instructions)
+
+
+@dataclass
+class ServiceDef:
+    """One RPC service: a UDP port plus a method table."""
+
+    service_id: int
+    name: str
+    udp_port: int
+    methods: dict[int, MethodDef] = field(default_factory=dict)
+    data_ptr: int = 0
+    #: payloads are AEAD-protected (see repro.net.crypto)
+    encrypted: bool = False
+
+    def method(self, method_id: int) -> MethodDef:
+        method = self.methods.get(method_id)
+        if method is None:
+            raise ServiceError(
+                f"service {self.name!r} has no method {method_id}"
+            )
+        return method
+
+
+class ServiceRegistry:
+    """All services on a machine, indexed by id and by UDP port."""
+
+    def __init__(self):
+        self._by_id: dict[int, ServiceDef] = {}
+        self._by_port: dict[int, ServiceDef] = {}
+        self._next_service_id = 1
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self):
+        return iter(self._by_id.values())
+
+    def create_service(
+        self, name: str, udp_port: int, encrypted: bool = False
+    ) -> ServiceDef:
+        """Register a new service on ``udp_port``."""
+        if udp_port in self._by_port:
+            raise ValueError(f"UDP port {udp_port} already bound")
+        service = ServiceDef(
+            service_id=self._next_service_id,
+            name=name,
+            udp_port=udp_port,
+            data_ptr=_DATA_BASE + self._next_service_id * 0x10000,
+            encrypted=encrypted,
+        )
+        self._next_service_id += 1
+        self._by_id[service.service_id] = service
+        self._by_port[udp_port] = service
+        return service
+
+    def add_method(
+        self,
+        service: ServiceDef,
+        name: str,
+        handler: Callable[[Sequence[Any]], Sequence[Any]],
+        cost_instructions: int | Callable[[Sequence[Any]], int] = 1000,
+        method_id: Optional[int] = None,
+    ) -> MethodDef:
+        """Attach a method to ``service``."""
+        if method_id is None:
+            method_id = len(service.methods) + 1
+        if method_id in service.methods:
+            raise ValueError(
+                f"method id {method_id} already used in {service.name!r}"
+            )
+        method = MethodDef(
+            method_id=method_id,
+            name=name,
+            handler=handler,
+            cost_instructions=cost_instructions,
+            code_ptr=_CODE_BASE
+            + service.service_id * 0x100000
+            + method_id * 0x1000,
+        )
+        service.methods[method_id] = method
+        return method
+
+    def by_id(self, service_id: int) -> ServiceDef:
+        service = self._by_id.get(service_id)
+        if service is None:
+            raise ServiceError(f"unknown service id {service_id}")
+        return service
+
+    def by_port(self, udp_port: int) -> ServiceDef:
+        service = self._by_port.get(udp_port)
+        if service is None:
+            raise ServiceError(f"no service on UDP port {udp_port}")
+        return service
+
+    def resolve(self, service_id: int, method_id: int) -> tuple[ServiceDef, MethodDef]:
+        service = self.by_id(service_id)
+        return service, service.method(method_id)

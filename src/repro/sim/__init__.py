@@ -1,0 +1,42 @@
+"""Discrete-event simulation substrate (S1 in DESIGN.md)."""
+
+from .clock import GHZ, MS, NS, SEC, US, Frequency, bytes_time_ns
+from .engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .resources import Gate, PriorityStore, Resource, Store
+from .rng import RngRegistry
+from .trace import SpanTimer, TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Frequency",
+    "GHZ",
+    "Gate",
+    "Interrupt",
+    "MS",
+    "NS",
+    "PriorityStore",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "SEC",
+    "SimulationError",
+    "Simulator",
+    "SpanTimer",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+    "US",
+    "bytes_time_ns",
+]

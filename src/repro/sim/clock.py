@@ -1,0 +1,62 @@
+"""Time units and cycle/time conversion helpers.
+
+The simulator's clock runs in nanoseconds.  Hardware models express
+costs in CPU cycles or bytes-per-second; the helpers here convert both
+ways so that unit mistakes show up as type-shaped errors rather than
+silently wrong magnitudes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "Frequency",
+    "GHZ",
+    "bytes_time_ns",
+]
+
+# All simulation timestamps are nanoseconds; these scale other units in.
+NS = 1.0
+US = 1_000.0
+MS = 1_000_000.0
+SEC = 1_000_000_000.0
+
+
+@dataclass(frozen=True)
+class Frequency:
+    """A clock frequency with cycle<->nanosecond conversions."""
+
+    hz: float
+
+    def __post_init__(self):
+        if self.hz <= 0:
+            raise ValueError(f"frequency must be positive, got {self.hz}")
+
+    @property
+    def ghz(self) -> float:
+        return self.hz / 1e9
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        """Duration of ``cycles`` clock cycles, in nanoseconds."""
+        return cycles * 1e9 / self.hz
+
+    def ns_to_cycles(self, ns: float) -> float:
+        """Number of cycles elapsing in ``ns`` nanoseconds."""
+        return ns * self.hz / 1e9
+
+
+def GHZ(value: float) -> Frequency:
+    """Build a :class:`Frequency` from a GHz figure."""
+    return Frequency(value * 1e9)
+
+
+def bytes_time_ns(nbytes: int, bytes_per_sec: float) -> float:
+    """Serialisation delay of ``nbytes`` at ``bytes_per_sec``, in ns."""
+    if bytes_per_sec <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bytes_per_sec}")
+    return nbytes / bytes_per_sec * SEC

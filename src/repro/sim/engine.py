@@ -1,0 +1,379 @@
+"""Discrete-event simulation engine.
+
+This module is the foundation of the whole reproduction: every hardware
+and software component (cores, caches, interconnects, NICs, the kernel)
+is expressed as a set of simulation processes exchanging events on a
+shared virtual clock.
+
+The design follows the classic generator-based style (as popularised by
+SimPy) but is implemented from scratch so the reproduction has no
+third-party runtime dependencies:
+
+* :class:`Simulator` owns the event heap and the virtual clock.
+* :class:`Event` is a one-shot occurrence that processes can wait on.
+* :class:`Process` wraps a Python generator; each ``yield`` suspends the
+  process until the yielded event fires.
+* :class:`Timeout` is an event that fires after a fixed delay.
+
+Time is measured in **nanoseconds** (floats).  Helper constants for
+other units live in :mod:`repro.sim.clock`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+    "Simulator",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation API (e.g. double-trigger)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries an arbitrary payload describing why
+    the interrupt happened (for example, an IPI descriptor in the OS
+    model).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Priorities for events scheduled at the same timestamp.  Urgent events
+# (process resumptions) run before normal events so that chains of
+# zero-delay wake-ups complete before the clock is allowed to advance.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    An event starts *pending*, becomes *triggered* when :meth:`succeed`
+    or :meth:`fail` is called, and is *processed* once the simulator has
+    run its callbacks.  Processes wait on events by ``yield``-ing them.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._ok: Optional[bool] = None
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (or exception) attached."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been dispatched."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        if not self._ok:
+            raise SimulationError("event failed; check .exception")
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(self.sim.now, priority, self)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every process waiting on the
+        event.
+        """
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        self._ok = False
+        self._exception = exc
+        self.sim._enqueue(self.sim.now, priority, self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event fires.
+
+        If the event has already been processed the callback runs
+        immediately, which lets late waiters join without racing.
+        """
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self.processed:
+            state = "processed"
+        elif self.triggered:
+            state = "triggered"
+        return f"<{type(self).__name__} {state} at t={self.sim.now}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` nanoseconds after creation."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self._ok = True
+        self._value = value
+        self.delay = delay
+        sim._enqueue(sim.now + delay, NORMAL, self)
+
+
+class _Initialize(Event):
+    """Internal event used to start a process at creation time."""
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._enqueue(sim.now, URGENT, self)
+
+
+class Process(Event):
+    """A simulation process wrapping a generator.
+
+    The process object doubles as an event that fires when the generator
+    terminates; its value is the generator's return value.  Waiting on a
+    process therefore means "wait until it finishes".
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"Process needs a generator, got {generator!r}")
+        super().__init__(sim)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        _Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process.
+
+        The interrupt is delivered asynchronously (as an urgent event at
+        the current time) so the caller's own execution is not nested
+        inside the target's frame.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name}")
+        if self._waiting_on is self:
+            raise SimulationError("a process cannot interrupt itself")
+        exc = Interrupt(cause)
+        event = Event(self.sim)
+        event._ok = False
+        event._exception = exc
+        event._defused = True  # handled by the interrupted process
+        event.callbacks.append(self._resume)
+        self.sim._enqueue(self.sim.now, URGENT, event)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        if not self.is_alive:
+            # The process finished before a queued interrupt arrived;
+            # drop the stale resumption.
+            return
+        self.sim._active_process = self
+        # Detach from whatever we were officially waiting on: an
+        # interrupt may arrive while a different event is outstanding.
+        self._waiting_on = None
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                event._defused = True
+                target = self._generator.throw(event._exception)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value, priority=URGENT)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            self.fail(exc, priority=URGENT)
+            return
+        self.sim._active_process = None
+
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        if target.sim is not self.sim:
+            raise SimulationError("cannot wait on an event from another simulator")
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._fired = 0
+        for event in self.events:
+            if event.sim is not self.sim:
+                raise SimulationError("condition spans multiple simulators")
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        # ``processed`` rather than ``triggered``: Timeout pre-sets its
+        # value at construction, so only dispatch marks a real firing.
+        return {e: e._value for e in self.events if e.processed and e._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._exception)
+            return
+        self._fired += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when any one of the given events fires."""
+
+    def _satisfied(self) -> bool:
+        return self._fired >= 1
+
+
+class AllOf(_Condition):
+    """Fires when all of the given events have fired."""
+
+    def _satisfied(self) -> bool:
+        return self._fired == len(self.events)
+
+
+class Simulator:
+    """The event loop: a virtual clock plus a priority queue of events."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._counter = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    # -- scheduling ---------------------------------------------------
+
+    def _enqueue(self, when: float, priority: int, event: Event) -> None:
+        heapq.heappush(self._heap, (when, priority, next(self._counter), event))
+
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` ns."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new simulation process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- execution ----------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("event scheduled in the past")
+        self.now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not getattr(event, "_defused", False):
+            # An unhandled failure with nobody waiting would silently
+            # disappear; surface it instead.
+            raise event._exception
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to exhaustion), a timestamp, or
+        an :class:`Event` (run until the event fires; returns its
+        value).
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            while not stop_event.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "event queue empty before the awaited event fired"
+                    )
+                self.step()
+            if stop_event._ok:
+                return stop_event._value
+            raise stop_event._exception
+        if until is not None:
+            horizon = float(until)
+            if horizon < self.now:
+                raise ValueError(f"until={horizon} is in the past (now={self.now})")
+            while self._heap and self.peek() <= horizon:
+                self.step()
+            self.now = horizon
+            return None
+        while self._heap:
+            self.step()
+        return None

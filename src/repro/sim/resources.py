@@ -1,0 +1,204 @@
+"""Waitable resources built on the event engine.
+
+* :class:`Store` — an unbounded or bounded FIFO of items; ``get``
+  blocks until an item is available, ``put`` blocks while full.
+* :class:`PriorityStore` — like Store but delivers lowest-priority-key
+  items first (used for interrupt queues).
+* :class:`Resource` — a counted semaphore (used for DMA engines and
+  shared buses).
+* :class:`Gate` — a broadcast condition: many waiters, released
+  together (used for "kernel run-queue became non-empty" style
+  signals).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Optional
+
+from .engine import Event, SimulationError, Simulator
+
+__all__ = ["Store", "PriorityStore", "Resource", "Gate"]
+
+
+class Store:
+    """A FIFO channel of items between simulation processes."""
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = ""):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Deposit ``item``; the returned event fires once accepted."""
+        event = Event(self.sim)
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed()
+        elif not self.is_full:
+            self.items.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False (drop) when full."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.is_full:
+            return False
+        self.items.append(item)
+        return True
+
+    def get(self) -> Event:
+        """The returned event fires with the next item."""
+        event = Event(self.sim)
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get; returns ``(ok, item)``."""
+        if not self.items:
+            return False, None
+        item = self.items.popleft()
+        self._admit_putter()
+        return True, item
+
+    def _admit_putter(self) -> None:
+        if self._putters and not self.is_full:
+            event, item = self._putters.popleft()
+            self.items.append(item)
+            event.succeed()
+
+
+class PriorityStore(Store):
+    """A Store delivering items in (priority, fifo) order.
+
+    Items are pushed as ``put(item, priority=k)``; lower ``k`` first.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = ""):
+        super().__init__(sim, capacity, name)
+        self._heap: list[tuple[Any, int, Any]] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._heap) >= self.capacity
+
+    def put(self, item: Any, priority: int = 0) -> Event:
+        event = Event(self.sim)
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            event.succeed()
+        elif not self.is_full:
+            heapq.heappush(self._heap, (priority, next(self._seq), item))
+            event.succeed()
+        else:
+            raise SimulationError("PriorityStore does not support blocking puts")
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.sim)
+        if self._heap:
+            _prio, _seq, item = heapq.heappop(self._heap)
+            event.succeed(item)
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> tuple[bool, Any]:
+        if not self._heap:
+            return False, None
+        _prio, _seq, item = heapq.heappop(self._heap)
+        return True, item
+
+
+class Resource:
+    """A counted semaphore with FIFO admission."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def acquire(self) -> Event:
+        event = Event(self.sim)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the slot directly to the next waiter; in_use stays.
+            self._waiters.popleft().succeed()
+        else:
+            self.in_use -= 1
+
+
+class Gate:
+    """A broadcast condition variable.
+
+    ``wait()`` returns an event; ``open(value)`` fires all currently
+    outstanding waits.  Unlike Store, a single ``open`` releases every
+    waiter at once.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._waiters: list[Event] = []
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def wait(self) -> Event:
+        event = Event(self.sim)
+        self._waiters.append(event)
+        return event
+
+    def open(self, value: Any = None) -> int:
+        """Release all waiters; returns how many were released."""
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed(value)
+        return len(waiters)

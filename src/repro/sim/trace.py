@@ -1,0 +1,97 @@
+"""Structured event tracing.
+
+Components emit trace records (``tracer.emit(category, label, **fields)``)
+that experiments later query to attribute latency to pipeline stages —
+this is how the per-step breakdown of the paper's Section 2 receive path
+is measured rather than asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from .engine import Simulator
+
+__all__ = ["TraceRecord", "Tracer", "SpanTimer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A single trace point."""
+
+    time_ns: float
+    category: str
+    label: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects during a simulation run."""
+
+    def __init__(self, sim: Simulator, enabled: bool = True):
+        self.sim = sim
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
+
+    def emit(self, category: str, label: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        record = TraceRecord(self.sim.now, category, label, fields)
+        self.records.append(record)
+        for fn in self._subscribers:
+            fn(record)
+
+    def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
+        """Call ``fn`` synchronously on every future record."""
+        self._subscribers.append(fn)
+
+    def query(
+        self,
+        category: Optional[str] = None,
+        label: Optional[str] = None,
+        **field_filters: Any,
+    ) -> Iterator[TraceRecord]:
+        """Iterate records matching the given category/label/fields."""
+        for record in self.records:
+            if category is not None and record.category != category:
+                continue
+            if label is not None and record.label != label:
+                continue
+            if any(record.fields.get(k) != v for k, v in field_filters.items()):
+                continue
+            yield record
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def span(self, category: str, label: str, **fields: Any) -> "SpanTimer":
+        return SpanTimer(self, category, label, fields)
+
+
+class SpanTimer:
+    """Measures a begin/end interval and emits one record at close."""
+
+    def __init__(self, tracer: Tracer, category: str, label: str, fields: dict):
+        self.tracer = tracer
+        self.category = category
+        self.label = label
+        self.fields = fields
+        self.start_ns = tracer.sim.now
+
+    def close(self, **extra: Any) -> float:
+        """Emit the span record; returns the duration in ns."""
+        duration = self.tracer.sim.now - self.start_ns
+        self.tracer.emit(
+            self.category,
+            self.label,
+            start_ns=self.start_ns,
+            duration_ns=duration,
+            **self.fields,
+            **extra,
+        )
+        return duration

@@ -1,0 +1,36 @@
+"""Workload generation: clients, distributions, traces (S12)."""
+
+from .client import ClientNode, RpcResult
+from .distributions import (
+    CLOUD_RPC_SIZES,
+    BimodalServiceTime,
+    ExponentialServiceTime,
+    FixedServiceTime,
+    RpcSizeDistribution,
+    ServiceTimeDistribution,
+    args_for_payload,
+)
+from .generator import ClosedLoopGenerator, OpenLoopGenerator, ServiceMix, Target
+from .trace_replay import TraceEntry, TraceReplayer, generate_trace
+from .traces import BurstSchedule, HotSetSchedule
+
+__all__ = [
+    "BimodalServiceTime",
+    "BurstSchedule",
+    "CLOUD_RPC_SIZES",
+    "ClientNode",
+    "ClosedLoopGenerator",
+    "ExponentialServiceTime",
+    "FixedServiceTime",
+    "HotSetSchedule",
+    "OpenLoopGenerator",
+    "RpcResult",
+    "RpcSizeDistribution",
+    "ServiceMix",
+    "ServiceTimeDistribution",
+    "Target",
+    "TraceEntry",
+    "TraceReplayer",
+    "args_for_payload",
+    "generate_trace",
+]

@@ -1,0 +1,148 @@
+"""Client (load generator) nodes.
+
+A :class:`ClientNode` models the *remote* end of an RPC: it has its own
+switch port and MAC/IP, sends byte-exact request frames, and matches
+response frames by request id.  It deliberately has no OS model — the
+paper's measurements are about the *server's* end-system cost, so the
+client is an infinitely fast traffic source/sink and the wire fabric
+provides the (constant) propagation component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from ..net.headers import HeaderError, MacAddress
+from ..net.link import Port, SwitchFabric
+from ..net.packet import build_udp_frame, parse_udp_frame
+from ..rpc.marshal import marshal_args, unmarshal_args
+from ..rpc.message import RpcError, RpcMessage, RpcType
+from ..sim.engine import Event, Simulator
+
+__all__ = ["RpcResult", "ClientNode"]
+
+
+@dataclass(frozen=True)
+class RpcResult:
+    """Outcome of one RPC seen from the client."""
+
+    request_id: int
+    args: Sequence[Any]
+    results: Sequence[Any]
+    sent_ns: float
+    received_ns: float
+
+    @property
+    def rtt_ns(self) -> float:
+        return self.received_ns - self.sent_ns
+
+
+class ClientNode:
+    """A remote RPC client with its own network identity."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        switch: SwitchFabric,
+        mac: MacAddress,
+        ip: int,
+        name: str = "client",
+        src_port_base: int = 40000,
+    ):
+        self.sim = sim
+        self.mac = mac
+        self.ip = ip
+        self.name = name
+        self.port: Port = switch.attach(mac, name)
+        self.src_port_base = src_port_base
+        self._next_request_id = 1
+        self._pending: dict[int, tuple[float, Sequence[Any], Event]] = {}
+        self.unmatched_responses = 0
+        self.parse_errors = 0
+        sim.process(self._rx_loop(), name=f"{name}-rx")
+
+    # -- sending ----------------------------------------------------------------
+
+    def send_request(
+        self,
+        dst_mac: MacAddress,
+        dst_ip: int,
+        dst_port: int,
+        service_id: int,
+        method_id: int,
+        args: Sequence[Any],
+    ) -> Event:
+        """Fire one request; the returned event yields an RpcResult."""
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        payload = marshal_args(list(args))
+        message = RpcMessage.request(service_id, method_id, request_id, payload)
+        frame = build_udp_frame(
+            src_mac=self.mac,
+            dst_mac=dst_mac,
+            src_ip=self.ip,
+            dst_ip=dst_ip,
+            src_port=self.src_port_base + (request_id % 1024),
+            dst_port=dst_port,
+            payload=message.pack(),
+            born_ns=self.sim.now,
+            meta={"request_id": request_id},
+        )
+        done = Event(self.sim)
+        self._pending[request_id] = (self.sim.now, list(args), done)
+        self.sim.process(self.port.send(frame))
+        return done
+
+    def call(
+        self,
+        dst_mac: MacAddress,
+        dst_ip: int,
+        dst_port: int,
+        service_id: int,
+        method_id: int,
+        args: Sequence[Any],
+    ):
+        """Generator: send one request and wait for its response."""
+        done = self.send_request(
+            dst_mac, dst_ip, dst_port, service_id, method_id, args
+        )
+        result = yield done
+        return result
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    # -- receiving ------------------------------------------------------------------
+
+    def _rx_loop(self):
+        while True:
+            frame = yield from self.port.receive()
+            try:
+                parsed = parse_udp_frame(frame)
+                message = RpcMessage.unpack(parsed.payload)
+            except (HeaderError, RpcError):
+                self.parse_errors += 1
+                continue
+            if message.header.rpc_type is not RpcType.RESPONSE:
+                self.unmatched_responses += 1
+                continue
+            pending = self._pending.pop(message.header.request_id, None)
+            if pending is None:
+                self.unmatched_responses += 1
+                continue
+            sent_ns, args, done = pending
+            try:
+                results = unmarshal_args(message.payload) if message.payload else []
+            except Exception:
+                results = []
+            done.succeed(
+                RpcResult(
+                    request_id=message.header.request_id,
+                    args=args,
+                    results=results,
+                    sent_ns=sent_ns,
+                    received_ns=self.sim.now,
+                )
+            )

@@ -1,0 +1,124 @@
+"""RPC size and service-time distributions.
+
+Size mixture calibrated to the cloud-scale RPC characterisation the
+paper cites ([23], SOSP'23): the great majority of RPCs are small
+(sub-kilobyte), with a long tail of bulk transfers.  The paper's whole
+fast-path argument rides on this shape ("the great majority of RPC
+requests and responses are small"), and the DMA-fallback crossover
+(E5) exercises its tail.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from ..rpc.marshal import marshal_args
+
+__all__ = [
+    "RpcSizeDistribution",
+    "CLOUD_RPC_SIZES",
+    "ServiceTimeDistribution",
+    "FixedServiceTime",
+    "ExponentialServiceTime",
+    "BimodalServiceTime",
+    "args_for_payload",
+]
+
+#: Marshalling overhead of a single-bytes-argument payload:
+#: 1 (count) + 1 (tag) + 4 (length) bytes.
+_SINGLE_BYTES_OVERHEAD = 6
+
+
+def args_for_payload(target_bytes: int) -> list:
+    """Arguments whose marshalled payload is exactly ``target_bytes``."""
+    if target_bytes < _SINGLE_BYTES_OVERHEAD:
+        raise ValueError(
+            f"cannot build a {target_bytes} B payload "
+            f"(minimum {_SINGLE_BYTES_OVERHEAD})"
+        )
+    args = [bytes(target_bytes - _SINGLE_BYTES_OVERHEAD)]
+    assert len(marshal_args(args)) == target_bytes
+    return args
+
+
+@dataclass(frozen=True)
+class RpcSizeDistribution:
+    """A mixture of (weight, low, high) log-uniform size buckets."""
+
+    buckets: tuple[tuple[float, int, int], ...]
+
+    def __post_init__(self):
+        total = sum(w for w, _lo, _hi in self.buckets)
+        if not math.isclose(total, 1.0, rel_tol=1e-6):
+            raise ValueError(f"bucket weights sum to {total}, expected 1.0")
+        for _w, lo, hi in self.buckets:
+            if lo < _SINGLE_BYTES_OVERHEAD or hi < lo:
+                raise ValueError(f"bad bucket bounds ({lo}, {hi})")
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw a payload size in bytes."""
+        point = rng.random()
+        acc = 0.0
+        for weight, low, high in self.buckets:
+            acc += weight
+            if point <= acc:
+                break
+        if low == high:
+            return low
+        # Log-uniform within the bucket: sizes spread over the decades.
+        log_low, log_high = math.log(low), math.log(high)
+        return int(round(math.exp(rng.uniform(log_low, log_high))))
+
+    def mean_estimate(self, rng: random.Random, n: int = 10_000) -> float:
+        return sum(self.sample(rng) for _ in range(n)) / n
+
+
+#: The headline mixture: ~3/4 of RPCs under 512 B, ~1% bulk.
+CLOUD_RPC_SIZES = RpcSizeDistribution(
+    buckets=(
+        (0.55, 16, 128),
+        (0.25, 128, 512),
+        (0.12, 512, 2048),
+        (0.07, 2048, 16384),
+        (0.01, 16384, 262144),
+    )
+)
+
+
+class ServiceTimeDistribution:
+    """Handler compute-time distributions (in instructions)."""
+
+    def sample(self, rng: random.Random) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedServiceTime(ServiceTimeDistribution):
+    instructions: int = 1000
+
+    def sample(self, rng: random.Random) -> int:
+        return self.instructions
+
+
+@dataclass(frozen=True)
+class ExponentialServiceTime(ServiceTimeDistribution):
+    mean_instructions: float = 1000.0
+
+    def sample(self, rng: random.Random) -> int:
+        return max(1, int(rng.expovariate(1.0 / self.mean_instructions)))
+
+
+@dataclass(frozen=True)
+class BimodalServiceTime(ServiceTimeDistribution):
+    """The classic tail-latency stressor: mostly short, sometimes long."""
+
+    short_instructions: int = 500
+    long_instructions: int = 50_000
+    long_fraction: float = 0.01
+
+    def sample(self, rng: random.Random) -> int:
+        if rng.random() < self.long_fraction:
+            return self.long_instructions
+        return self.short_instructions

@@ -1,0 +1,146 @@
+"""Open- and closed-loop load generators over :class:`ClientNode`.
+
+The experiments drive the server either open-loop (Poisson arrivals at
+a target rate — the honest way to measure latency under load) or
+closed-loop (fixed concurrency — the way to measure peak throughput).
+A :class:`ServiceMix` picks the target service per request, optionally
+with a time-varying hot set (the paper's "dynamic workloads").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..metrics.histogram import LatencyRecorder
+from ..rpc.service import MethodDef, ServiceDef
+from ..sim.engine import AllOf, Event, Simulator
+from .client import ClientNode, RpcResult
+
+__all__ = ["Target", "ServiceMix", "OpenLoopGenerator", "ClosedLoopGenerator"]
+
+
+@dataclass(frozen=True)
+class Target:
+    """One callable (service, method) plus an argument factory."""
+
+    service: ServiceDef
+    method: MethodDef
+    make_args: Callable[[random.Random], Sequence] = field(
+        default=lambda rng: [1]
+    )
+
+
+class ServiceMix:
+    """Weighted choice over targets; weights may change over time."""
+
+    def __init__(self, targets: Sequence[Target], weights: Optional[Sequence[float]] = None):
+        if not targets:
+            raise ValueError("need at least one target")
+        self.targets = list(targets)
+        self.weights = list(weights) if weights else [1.0] * len(targets)
+        if len(self.weights) != len(self.targets):
+            raise ValueError("weights/targets length mismatch")
+
+    def set_hot_set(self, hot_indices: Sequence[int], hot_weight: float = 1.0,
+                    cold_weight: float = 0.0) -> None:
+        """Concentrate traffic on a subset (dynamic-workload rotation)."""
+        hot = set(hot_indices)
+        self.weights = [
+            hot_weight if index in hot else cold_weight
+            for index in range(len(self.targets))
+        ]
+        if not any(self.weights):
+            raise ValueError("hot set selects no traffic")
+
+    def choose(self, rng: random.Random) -> Target:
+        return rng.choices(self.targets, weights=self.weights, k=1)[0]
+
+
+class _GeneratorBase:
+    def __init__(
+        self,
+        client: ClientNode,
+        mix: ServiceMix,
+        server_mac,
+        server_ip: int,
+        rng: random.Random,
+        recorder: Optional[LatencyRecorder] = None,
+    ):
+        self.client = client
+        self.mix = mix
+        self.server_mac = server_mac
+        self.server_ip = server_ip
+        self.rng = rng
+        self.recorder = recorder or LatencyRecorder()
+        self.sent = 0
+        self.completed = 0
+
+    def _fire(self, target: Target) -> Event:
+        self.sent += 1
+        return self.client.send_request(
+            self.server_mac,
+            self.server_ip,
+            target.service.udp_port,
+            target.service.service_id,
+            target.method.method_id,
+            target.make_args(self.rng),
+        )
+
+    def _note(self, result: RpcResult) -> None:
+        self.completed += 1
+        self.recorder.record(result.rtt_ns)
+
+
+class OpenLoopGenerator(_GeneratorBase):
+    """Poisson arrivals at ``rate_per_sec`` for ``n_requests``."""
+
+    def run(self, rate_per_sec: float, n_requests: int):
+        """Generator (sim process body): returns when all complete."""
+        if rate_per_sec <= 0:
+            raise ValueError("rate must be positive")
+        sim = self.client.sim
+        mean_gap_ns = 1e9 / rate_per_sec
+        outstanding: list[Event] = []
+        for _ in range(n_requests):
+            target = self.mix.choose(self.rng)
+            done = self._fire(target)
+            done.add_callback(lambda ev: self._note(ev.value))
+            outstanding.append(done)
+            yield sim.timeout(self.rng.expovariate(1.0) * mean_gap_ns)
+        yield AllOf(sim, outstanding)
+        return self.recorder
+
+
+class ClosedLoopGenerator(_GeneratorBase):
+    """``concurrency`` outstanding requests, each immediately replaced."""
+
+    def run(self, concurrency: int, n_requests: int):
+        """Generator (sim process body): returns when all complete."""
+        if concurrency <= 0:
+            raise ValueError("concurrency must be positive")
+        sim = self.client.sim
+        finished = Event(sim)
+        budget = {"left": n_requests}
+
+        def launch():
+            if budget["left"] <= 0:
+                return
+            budget["left"] -= 1
+            target = self.mix.choose(self.rng)
+            done = self._fire(target)
+            done.add_callback(on_done)
+
+        def on_done(ev: Event) -> None:
+            self._note(ev.value)
+            if self.completed >= n_requests:
+                if not finished.triggered:
+                    finished.succeed()
+            else:
+                launch()
+
+        for _ in range(min(concurrency, n_requests)):
+            launch()
+        yield finished
+        return self.recorder

@@ -1,0 +1,70 @@
+"""Dynamic workload schedules.
+
+The paper's flexibility argument is about workloads where the set of
+hot services shifts over time and exceeds any static core assignment:
+serverless bursts, rotating microservice hot sets.  These schedules
+drive :class:`~repro.workloads.generator.ServiceMix` weight changes
+during a run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["HotSetSchedule", "BurstSchedule"]
+
+
+@dataclass(frozen=True)
+class HotSetSchedule:
+    """Every ``period_ns``, a fresh random subset of services is hot."""
+
+    n_services: int
+    hot_count: int
+    period_ns: float
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 0 < self.hot_count <= self.n_services:
+            raise ValueError(
+                f"hot_count {self.hot_count} out of range 1..{self.n_services}"
+            )
+        if self.period_ns <= 0:
+            raise ValueError("period must be positive")
+
+    def hot_set_at(self, time_ns: float) -> frozenset[int]:
+        """The hot service indices during the epoch containing time_ns."""
+        epoch = int(time_ns // self.period_ns)
+        rng = random.Random((self.seed << 20) ^ epoch)
+        return frozenset(rng.sample(range(self.n_services), self.hot_count))
+
+    def epochs(self, duration_ns: float):
+        """Iterate (start_ns, hot_set) pairs covering [0, duration)."""
+        start = 0.0
+        while start < duration_ns:
+            yield start, self.hot_set_at(start)
+            start += self.period_ns
+
+
+@dataclass(frozen=True)
+class BurstSchedule:
+    """Serverless-style: one service bursts while a baseline trickles.
+
+    ``burst_service`` receives ``burst_rate`` during bursts of
+    ``burst_ns`` starting every ``interval_ns``; all other services
+    share the baseline rate throughout.
+    """
+
+    burst_service: int
+    interval_ns: float
+    burst_ns: float
+
+    def __post_init__(self):
+        if self.burst_ns <= 0 or self.interval_ns <= 0:
+            raise ValueError("durations must be positive")
+        if self.burst_ns > self.interval_ns:
+            raise ValueError("burst longer than interval")
+
+    def in_burst(self, time_ns: float) -> bool:
+        return (time_ns % self.interval_ns) < self.burst_ns

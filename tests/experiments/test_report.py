@@ -1,0 +1,29 @@
+"""Unit tests for experiment reporting helpers."""
+
+from repro.experiments.report import fmt_ns, format_table
+
+
+def test_fmt_ns_units():
+    assert fmt_ns(500) == "500 ns"
+    assert fmt_ns(1500) == "1.50 us"
+    assert fmt_ns(2_500_000) == "2.50 ms"
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["name", "value"],
+        [("a", 1), ("longer-name", 22)],
+        title="T",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    # All rows align to the same width.
+    assert len(lines[3]) <= len(lines[1]) + 2
+    assert "longer-name" in lines[4]
+
+
+def test_format_table_empty_rows():
+    text = format_table(["a"], [])
+    assert "a" in text

@@ -1,0 +1,46 @@
+"""Tests for run_all's CLI and JSON export."""
+
+import json
+
+import pytest
+
+from repro.experiments.run_all import _jsonable, main
+
+
+def test_jsonable_dataclasses_and_nesting():
+    from dataclasses import dataclass
+
+    @dataclass
+    class Inner:
+        x: int
+
+    @dataclass
+    class Outer:
+        name: str
+        items: list
+
+    out = _jsonable(Outer(name="n", items=[Inner(1), (2, 3), {"k": Inner(4)}]))
+    assert out == {
+        "name": "n",
+        "items": [{"x": 1}, [2, 3], {"k": {"x": 4}}],
+    }
+
+
+def test_jsonable_fallback_repr():
+    class Weird:
+        def __repr__(self):
+            return "<weird>"
+
+    assert _jsonable(Weird()) == "<weird>"
+
+
+def test_json_flag_writes_file(tmp_path, capsys):
+    path = tmp_path / "out.json"
+    assert main(["e7", "--json", str(path)]) == 0
+    data = json.loads(path.read_text())
+    assert "e7" in data
+    assert data["e7"][0]["ok"] is True
+
+
+def test_json_flag_missing_path():
+    assert main(["e7", "--json"]) == 2

@@ -1,0 +1,68 @@
+"""Unit tests for address regions and the allocator."""
+
+import pytest
+
+from repro.hw import AddressAllocator, Region, align_down, align_up
+
+
+def test_alignment_helpers():
+    assert align_down(130, 128) == 128
+    assert align_down(128, 128) == 128
+    assert align_up(129, 128) == 256
+    assert align_up(128, 128) == 128
+
+
+def test_region_contains():
+    r = Region(0x1000, 0x100)
+    assert 0x1000 in r
+    assert 0x10FF in r
+    assert 0x1100 not in r
+    assert 0xFFF not in r
+
+
+def test_region_end():
+    assert Region(10, 5).end == 15
+
+
+def test_region_rejects_bad_sizes():
+    with pytest.raises(ValueError):
+        Region(0, 0)
+    with pytest.raises(ValueError):
+        Region(-1, 10)
+
+
+def test_region_overlap():
+    a = Region(0, 100)
+    assert a.overlaps(Region(50, 100))
+    assert a.overlaps(Region(0, 1))
+    assert not a.overlaps(Region(100, 10))
+
+
+def test_region_lines_iteration():
+    r = Region(256, 300)
+    lines = list(r.lines(128))
+    assert lines == [256, 384, 512]
+
+
+def test_region_lines_unaligned_base():
+    r = Region(130, 10)
+    assert list(r.lines(128)) == [128]
+
+
+def test_allocator_non_overlapping():
+    alloc = AddressAllocator()
+    a = alloc.allocate(100, "a")
+    b = alloc.allocate(5000, "b")
+    c = alloc.allocate(1, "c")
+    assert not a.overlaps(b)
+    assert not b.overlaps(c)
+    assert a.base % 4096 == 0
+    assert b.base % 4096 == 0
+
+
+def test_allocator_find():
+    alloc = AddressAllocator()
+    a = alloc.allocate(128, "x")
+    assert alloc.find(a.base) is a
+    assert alloc.find(a.base + 127) is a
+    assert alloc.find(a.base - 1) is None

@@ -1,0 +1,350 @@
+"""Unit tests for the MESI coherence fabric and device-homed lines."""
+
+import pytest
+
+from repro.hw import (
+    ECI,
+    CoherenceError,
+    CoherenceFabric,
+    FillResponse,
+    HomeDevice,
+    LineState,
+    Region,
+)
+from repro.sim import Event, Simulator
+
+
+class ImmediateHome(HomeDevice):
+    """A home that answers every fill instantly with fixed data."""
+
+    def __init__(self, sim, data=b"", service_ns=0.0):
+        self.sim = sim
+        self.data = data
+        self.service_ns = service_ns
+        self.fills = []
+        self.writebacks = []
+
+    def service_fill(self, core_id, addr, for_write):
+        self.fills.append((core_id, addr))
+        ev = Event(self.sim)
+        ev.succeed(FillResponse(data=self.data))
+        return ev
+
+    def on_writeback(self, addr, data):
+        self.writebacks.append((addr, data))
+
+    def service_time_ns(self):
+        return self.service_ns
+
+
+class DeferredHome(HomeDevice):
+    """A home that parks fills until told to answer (blocked load)."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.pending = []
+
+    def service_fill(self, core_id, addr, for_write):
+        ev = Event(self.sim)
+        self.pending.append((core_id, addr, ev))
+        return ev
+
+    def answer_all(self, data):
+        pending, self.pending = self.pending, []
+        for _core, _addr, ev in pending:
+            ev.succeed(FillResponse(data=data))
+
+
+@pytest.fixture()
+def fabric():
+    sim = Simulator()
+    fab = CoherenceFabric(sim, ECI)
+    return sim, fab
+
+
+def test_fabric_requires_coherent_interconnect():
+    from repro.hw import PCIE_GEN3
+
+    with pytest.raises(CoherenceError):
+        CoherenceFabric(Simulator(), PCIE_GEN3)
+
+
+def test_register_home_rejects_overlap(fabric):
+    sim, fab = fabric
+    home = ImmediateHome(sim)
+    fab.register_home(Region(0x1000, 256), home)
+    with pytest.raises(CoherenceError):
+        fab.register_home(Region(0x1080, 256), home)
+
+
+def test_load_miss_takes_round_trip_and_grants_exclusive(fabric):
+    sim, fab = fabric
+    home = ImmediateHome(sim, data=b"\xAB" * 16, service_ns=10.0)
+    fab.register_home(Region(0x1000, 128), home)
+
+    results = []
+
+    def proc():
+        data = yield from fab.load(0, 0x1000)
+        results.append((sim.now, data[:16]))
+
+    sim.process(proc())
+    sim.run()
+    time, data = results[0]
+    # request one-way + 10ns service + line transfer back
+    assert time > 2 * ECI.one_way_ns
+    assert data == b"\xAB" * 16
+    assert fab.holder_state(0, 0x1000) is LineState.EXCLUSIVE
+    assert fab.stats.fills == 1
+
+
+def test_load_hit_is_free_at_fabric_level(fabric):
+    sim, fab = fabric
+    home = ImmediateHome(sim)
+    fab.register_home(Region(0x1000, 128), home)
+
+    times = []
+
+    def proc():
+        yield from fab.load(0, 0x1000)
+        t0 = sim.now
+        yield from fab.load(0, 0x1000)
+        times.append(sim.now - t0)
+
+    sim.process(proc())
+    sim.run()
+    assert times == [0.0]
+    assert fab.stats.fills == 1
+
+
+def test_second_sharer_demotes_exclusive(fabric):
+    sim, fab = fabric
+    home = ImmediateHome(sim)
+    fab.register_home(Region(0x1000, 128), home)
+
+    def core0():
+        yield from fab.load(0, 0x1000)
+
+    def core1():
+        yield sim.timeout(5000)
+        yield from fab.load(1, 0x1000)
+
+    sim.process(core0())
+    sim.process(core1())
+    sim.run()
+    assert fab.holder_state(0, 0x1000) is LineState.SHARED
+    assert fab.holder_state(1, 0x1000) is LineState.SHARED
+
+
+def test_store_upgrades_and_invalidates_sharers(fabric):
+    sim, fab = fabric
+    home = ImmediateHome(sim)
+    fab.register_home(Region(0x1000, 128), home)
+
+    def core0():
+        yield from fab.load(0, 0x1000)
+        yield sim.timeout(10_000)
+        yield from fab.store(0, 0x1000, b"hello")
+
+    def core1():
+        yield sim.timeout(5000)
+        yield from fab.load(1, 0x1000)
+
+    sim.process(core0())
+    sim.process(core1())
+    sim.run()
+    assert fab.holder_state(0, 0x1000) is LineState.MODIFIED
+    assert fab.holder_state(1, 0x1000) is LineState.INVALID
+    assert fab.stats.invalidations >= 1
+    assert fab.device_peek(0x1000)[:5] == b"hello"
+
+
+def test_store_to_owned_line_is_local(fabric):
+    sim, fab = fabric
+    home = ImmediateHome(sim)
+    fab.register_home(Region(0x1000, 128), home)
+
+    elapsed = []
+
+    def proc():
+        yield from fab.load(0, 0x1000)
+        t0 = sim.now
+        yield from fab.store(0, 0x1000, b"x")
+        elapsed.append(sim.now - t0)
+
+    sim.process(proc())
+    sim.run()
+    assert elapsed == [0.0]
+    assert fab.stats.upgrades == 0
+
+
+def test_store_offset_merge(fabric):
+    sim, fab = fabric
+    home = ImmediateHome(sim)
+    fab.register_home(Region(0x1000, 128), home)
+
+    def proc():
+        yield from fab.store(0, 0x1000 + 8, b"ZZ")
+
+    sim.process(proc())
+    sim.run()
+    line = fab.device_peek(0x1000)
+    assert line[8:10] == b"ZZ"
+    assert line[0] == 0
+
+
+def test_store_crossing_line_rejected(fabric):
+    sim, fab = fabric
+    home = ImmediateHome(sim)
+    fab.register_home(Region(0x1000, 128), home)
+
+    def proc():
+        yield from fab.store(0, 0x1000 + 120, b"123456789")
+
+    sim.process(proc())
+    with pytest.raises(CoherenceError):
+        sim.run()
+
+
+def test_blocked_load_defers_until_home_answers(fabric):
+    sim, fab = fabric
+    home = DeferredHome(sim)
+    fab.register_home(Region(0x2000, 128), home)
+
+    done = []
+
+    def loader():
+        data = yield from fab.load(3, 0x2000)
+        done.append((sim.now, data[:2]))
+
+    def responder():
+        yield sim.timeout(50_000)  # NIC waits for a packet
+        home.answer_all(b"OK")
+
+    sim.process(loader())
+    sim.process(responder())
+    sim.run()
+    time, data = done[0]
+    assert time > 50_000
+    assert data == b"OK"
+
+
+def test_pending_loaders_visible_to_device(fabric):
+    sim, fab = fabric
+    home = DeferredHome(sim)
+    fab.register_home(Region(0x2000, 128), home)
+    seen = []
+
+    def loader():
+        yield from fab.load(7, 0x2000)
+
+    def checker():
+        yield sim.timeout(1000)
+        seen.append(fab.pending_loaders(0x2000))
+        home.answer_all(b"")
+        yield sim.timeout(10_000)
+        seen.append(fab.pending_loaders(0x2000))
+
+    sim.process(loader())
+    sim.process(checker())
+    sim.run()
+    assert seen[0] == frozenset({7})
+    assert seen[1] == frozenset()
+
+
+def test_device_recall_pulls_dirty_data(fabric):
+    sim, fab = fabric
+    home = ImmediateHome(sim)
+    fab.register_home(Region(0x1000, 128), home)
+    got = []
+
+    def cpu():
+        yield from fab.load(0, 0x1000)
+        yield from fab.store(0, 0x1000, b"RESPONSE")
+
+    def device():
+        yield sim.timeout(10_000)
+        data = yield from fab.device_recall(0x1000)
+        got.append(data[:8])
+
+    sim.process(cpu())
+    sim.process(device())
+    sim.run()
+    assert got == [b"RESPONSE"]
+    assert fab.holder_state(0, 0x1000) is LineState.INVALID
+    assert fab.stats.recalls == 1
+
+
+def test_device_recall_clean_line_no_data_transfer(fabric):
+    sim, fab = fabric
+    home = ImmediateHome(sim)
+    fab.register_home(Region(0x1000, 128), home)
+    durations = []
+
+    def cpu():
+        yield from fab.load(0, 0x1000)
+
+    def device():
+        yield sim.timeout(10_000)
+        t0 = sim.now
+        yield from fab.device_recall(0x1000)
+        durations.append(sim.now - t0)
+
+    sim.process(cpu())
+    sim.process(device())
+    sim.run()
+    # Clean recall: only the request flit, no line transfer.
+    assert durations[0] == pytest.approx(ECI.one_way_ns)
+
+
+def test_device_write_requires_no_holders(fabric):
+    sim, fab = fabric
+    home = ImmediateHome(sim)
+    fab.register_home(Region(0x1000, 128), home)
+    fab.device_write(0x1000, b"STAGED")
+    assert fab.device_peek(0x1000)[:6] == b"STAGED"
+
+    def cpu():
+        yield from fab.load(0, 0x1000)
+
+    sim.process(cpu())
+    sim.run()
+    with pytest.raises(CoherenceError):
+        fab.device_write(0x1000, b"X")
+
+
+def test_evict_modified_writes_back(fabric):
+    sim, fab = fabric
+    home = ImmediateHome(sim)
+    fab.register_home(Region(0x1000, 128), home)
+
+    def cpu():
+        yield from fab.load(0, 0x1000)
+        yield from fab.store(0, 0x1000, b"dirty")
+        yield from fab.evict(0, 0x1000)
+
+    sim.process(cpu())
+    sim.run()
+    assert fab.holder_state(0, 0x1000) is LineState.INVALID
+    assert home.writebacks and home.writebacks[0][1][:5] == b"dirty"
+    assert fab.stats.writebacks == 1
+
+
+def test_unregistered_address_rejected(fabric):
+    sim, fab = fabric
+
+    def cpu():
+        yield from fab.load(0, 0xDEAD_0000)
+
+    sim.process(cpu())
+    with pytest.raises(CoherenceError):
+        sim.run()
+
+
+def test_is_homed(fabric):
+    sim, fab = fabric
+    home = ImmediateHome(sim)
+    fab.register_home(Region(0x1000, 128), home)
+    assert fab.is_homed(0x1000)
+    assert fab.is_homed(0x107F)
+    assert not fab.is_homed(0x1080)

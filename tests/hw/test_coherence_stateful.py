@@ -1,0 +1,131 @@
+"""Property-based stateful testing of the coherence fabric.
+
+Hypothesis drives random interleavings of loads, stores, evictions,
+recalls, posted writes, and device writes from four cores against one
+device-homed line, checking the MESI invariants and data coherence
+against a reference model after every step.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.hw import ECI, CoherenceFabric, FillResponse, HomeDevice, LineState, Region
+from repro.sim import Event, Simulator
+
+LINE_ADDR = 0x10000
+N_CORES = 4
+
+
+class _Home(HomeDevice):
+    def __init__(self, sim):
+        self.sim = sim
+        self.writebacks = []
+
+    def service_fill(self, core_id, addr, for_write):
+        event = Event(self.sim)
+        event.succeed(FillResponse(data=b""))
+        return event
+
+    def on_writeback(self, addr, data):
+        self.writebacks.append((addr, bytes(data)))
+
+
+class CoherenceMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator()
+        self.fabric = CoherenceFabric(self.sim, ECI)
+        self.home = _Home(self.sim)
+        self.fabric.register_home(Region(LINE_ADDR, 128), self.home)
+        #: reference: the byte the most recent writer stored at offset 0
+        self.expected_first_byte = 0
+
+    def _run(self, generator):
+        done = {}
+
+        def wrapper():
+            result = yield from generator
+            done["value"] = result
+
+        self.sim.process(wrapper())
+        self.sim.run()
+        return done.get("value")
+
+    # -- rules ---------------------------------------------------------------
+
+    @rule(core=st.integers(0, N_CORES - 1))
+    def load(self, core):
+        data = self._run(self.fabric.load(core, LINE_ADDR))
+        # A reader must observe the most recent write.
+        assert data[0] == self.expected_first_byte
+
+    @rule(core=st.integers(0, N_CORES - 1), value=st.integers(1, 255))
+    def store(self, core, value):
+        self._run(self.fabric.store(core, LINE_ADDR, bytes([value])))
+        self.expected_first_byte = value
+        assert self.fabric.holder_state(core, LINE_ADDR) is LineState.MODIFIED
+
+    @rule(core=st.integers(0, N_CORES - 1))
+    def evict(self, core):
+        self._run(self.fabric.evict(core, LINE_ADDR))
+        assert self.fabric.holder_state(core, LINE_ADDR) is LineState.INVALID
+
+    @rule()
+    def device_recall(self):
+        data = self._run(self.fabric.device_recall(LINE_ADDR))
+        assert data[0] == self.expected_first_byte
+        for core in range(N_CORES):
+            assert self.fabric.holder_state(core, LINE_ADDR) is LineState.INVALID
+
+    @rule(value=st.integers(1, 255))
+    def device_write_when_unheld(self, value):
+        if any(
+            self.fabric.holder_state(core, LINE_ADDR) is not LineState.INVALID
+            for core in range(N_CORES)
+        ):
+            return  # device_write requires no holders; skip
+        self.fabric.device_write(LINE_ADDR, bytes([value]))
+        self.expected_first_byte = value
+
+    @rule(core=st.integers(0, N_CORES - 1), value=st.integers(1, 255))
+    def posted_write(self, core, value):
+        self._run(self.fabric.posted_write(core, LINE_ADDR, bytes([value])))
+        self.sim.run()  # let the async delivery land
+        self.expected_first_byte = value
+
+    # -- invariants --------------------------------------------------------------
+
+    @invariant()
+    def single_writer(self):
+        """At most one core holds the line exclusively/modified, and
+        then nobody else holds it at all."""
+        states = {
+            core: self.fabric.holder_state(core, LINE_ADDR)
+            for core in range(N_CORES)
+        }
+        owners = [c for c, s in states.items()
+                  if s in (LineState.EXCLUSIVE, LineState.MODIFIED)]
+        assert len(owners) <= 1
+        if owners:
+            others = [s for c, s in states.items() if c != owners[0]]
+            assert all(s is LineState.INVALID for s in others)
+
+    @invariant()
+    def home_copy_current_when_unheld(self):
+        """With no holders, the home copy is the latest data."""
+        if all(
+            self.fabric.holder_state(core, LINE_ADDR) is LineState.INVALID
+            for core in range(N_CORES)
+        ):
+            assert self.fabric.device_peek(LINE_ADDR)[0] == self.expected_first_byte
+
+
+CoherenceMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)
+TestCoherence = CoherenceMachine.TestCase

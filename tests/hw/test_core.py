@@ -1,0 +1,176 @@
+"""Unit tests for the CPU core model's cost accounting."""
+
+import pytest
+
+from repro.hw import (
+    ECI,
+    CacheParams,
+    CoherenceFabric,
+    CoreParams,
+    FillResponse,
+    HomeDevice,
+    Region,
+)
+from repro.hw.core import Core, CoreCounters
+from repro.sim import GHZ, Event, Simulator
+
+
+def make_core(sim, fabric=None, ghz=2.0, cpi=1.0):
+    return Core(
+        sim,
+        core_id=0,
+        core_params=CoreParams(frequency=GHZ(ghz), cpi=cpi),
+        cache_params=CacheParams(),
+        fabric=fabric,
+    )
+
+
+def test_execute_charges_busy_time():
+    sim = Simulator()
+    core = make_core(sim, ghz=2.0, cpi=1.0)
+
+    def proc():
+        yield from core.execute(2000)
+
+    sim.process(proc())
+    sim.run()
+    assert sim.now == pytest.approx(1000)  # 2000 cycles @ 2GHz
+    assert core.counters.busy_ns == pytest.approx(1000)
+    assert core.counters.instructions == 2000
+    assert core.counters.stall_ns == 0
+
+
+def test_cpi_scales_execution():
+    sim = Simulator()
+    core = make_core(sim, ghz=2.0, cpi=2.0)
+
+    def proc():
+        yield from core.execute(1000)
+
+    sim.process(proc())
+    sim.run()
+    assert sim.now == pytest.approx(1000)  # 1000 instr * 2 cpi @ 2GHz
+
+
+def test_cache_hit_levels_ordered():
+    sim = Simulator()
+    core = make_core(sim)
+    durations = {}
+
+    def proc():
+        for level in ("l1", "l2", "llc"):
+            t0 = sim.now
+            yield from core.cache_hit(level)
+            durations[level] = sim.now - t0
+
+    sim.process(proc())
+    sim.run()
+    assert durations["l1"] < durations["l2"] < durations["llc"]
+
+
+def test_dram_access_is_stall_time():
+    sim = Simulator()
+    core = make_core(sim)
+
+    def proc():
+        yield from core.dram_access()
+
+    sim.process(proc())
+    sim.run()
+    assert core.counters.stall_ns == pytest.approx(CacheParams().dram_ns)
+    assert core.counters.busy_ns == 0
+
+
+def test_counters_snapshot_delta():
+    c = CoreCounters(busy_ns=100, stall_ns=50, instructions=10)
+    snap = c.snapshot()
+    c.busy_ns += 25
+    c.instructions += 5
+    d = c.delta(snap)
+    assert d.busy_ns == 25
+    assert d.instructions == 5
+    assert d.stall_ns == 0
+
+
+def test_counters_idle():
+    c = CoreCounters(busy_ns=100, stall_ns=50)
+    assert c.active_ns() == 150
+    assert c.idle_ns(1000) == 850
+    assert c.idle_ns(100) == 0  # clamped
+
+
+class _BlockedHome(HomeDevice):
+    def __init__(self, sim, delay_ns):
+        self.sim = sim
+        self.delay_ns = delay_ns
+
+    def service_fill(self, core_id, addr, for_write):
+        ev = Event(self.sim)
+
+        def answer():
+            yield self.sim.timeout(self.delay_ns)
+            ev.succeed(FillResponse(data=b"req!"))
+
+        self.sim.process(answer())
+        return ev
+
+
+def test_blocked_load_accrues_stall_not_busy():
+    sim = Simulator()
+    fabric = CoherenceFabric(sim, ECI)
+    core = make_core(sim, fabric=fabric)
+    fabric.register_home(Region(0x4000, 128), _BlockedHome(sim, 40_000))
+    got = []
+
+    def proc():
+        data = yield from core.load_line(0x4000)
+        got.append(data[:4])
+
+    sim.process(proc())
+    sim.run()
+    assert got == [b"req!"]
+    assert core.counters.stall_ns > 40_000
+    assert core.counters.busy_ns == 0
+
+
+def test_hit_load_charges_l1_busy():
+    sim = Simulator()
+    fabric = CoherenceFabric(sim, ECI)
+    core = make_core(sim, fabric=fabric)
+    fabric.register_home(Region(0x4000, 128), _BlockedHome(sim, 0))
+
+    def proc():
+        yield from core.load_line(0x4000)
+        before = core.counters.busy_ns
+        yield from core.load_line(0x4000)
+        assert core.counters.busy_ns > before
+
+    sim.process(proc())
+    sim.run()
+
+
+def test_store_line_via_fabric():
+    sim = Simulator()
+    fabric = CoherenceFabric(sim, ECI)
+    core = make_core(sim, fabric=fabric)
+    fabric.register_home(Region(0x4000, 128), _BlockedHome(sim, 0))
+
+    def proc():
+        yield from core.store_line(0x4000, b"RSP")
+
+    sim.process(proc())
+    sim.run()
+    assert fabric.device_peek(0x4000)[:3] == b"RSP"
+    assert core.counters.stores == 1
+
+
+def test_load_without_fabric_raises():
+    sim = Simulator()
+    core = make_core(sim, fabric=None)
+
+    def proc():
+        yield from core.load_line(0x1000)
+
+    sim.process(proc())
+    with pytest.raises(RuntimeError):
+        sim.run()

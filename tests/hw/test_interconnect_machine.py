@@ -1,0 +1,111 @@
+"""Unit tests for the device link and machine assembly."""
+
+import pytest
+
+from repro.hw import (
+    ENZIAN,
+    ENZIAN_PCIE,
+    MODERN_SERVER,
+    MODERN_SERVER_CXL,
+    PCIE_GEN3,
+    DeviceLink,
+    Machine,
+)
+from repro.sim import Simulator
+
+
+def test_mmio_read_stalls_core_full_roundtrip():
+    machine = Machine(ENZIAN_PCIE)
+    link, core = machine.link, machine.cores[0]
+
+    def proc():
+        yield from link.mmio_read(core)
+
+    machine.sim.process(proc())
+    machine.run()
+    assert machine.sim.now == pytest.approx(PCIE_GEN3.mmio_read_ns)
+    assert core.counters.stall_ns == pytest.approx(PCIE_GEN3.mmio_read_ns)
+
+
+def test_mmio_write_is_posted_and_cheap():
+    machine = Machine(ENZIAN_PCIE)
+    link, core = machine.link, machine.cores[0]
+
+    def proc():
+        yield from link.mmio_write(core)
+
+    machine.sim.process(proc())
+    machine.run()
+    # A posted write must cost the core far less than a read round trip.
+    assert machine.sim.now < PCIE_GEN3.mmio_read_ns / 5
+    assert link.stats.mmio_writes == 1
+
+
+def test_dma_scales_with_size():
+    machine = Machine(ENZIAN_PCIE)
+    link = machine.link
+    times = []
+
+    def proc(nbytes):
+        t0 = machine.sim.now
+        yield from link.dma_read(nbytes)
+        times.append(machine.sim.now - t0)
+
+    machine.sim.process(proc(64))
+    machine.run()
+    machine.sim.process(proc(65536))
+    machine.run()
+    assert times[1] > times[0]
+    assert link.stats.dma_bytes == 64 + 65536
+
+
+def test_interrupt_delivery_counts():
+    machine = Machine(ENZIAN_PCIE)
+
+    def proc():
+        yield from machine.link.raise_interrupt(100.0)
+
+    machine.sim.process(proc())
+    machine.run()
+    assert machine.link.stats.interrupts == 1
+    assert machine.sim.now == pytest.approx(100.0 + PCIE_GEN3.one_way_ns)
+
+
+def test_enzian_machine_is_coherent_with_48_cores():
+    machine = Machine(ENZIAN)
+    assert machine.coherent
+    assert machine.n_cores == 48
+    assert machine.fabric.line_bytes == 128
+
+
+def test_pcie_machine_not_coherent():
+    machine = Machine(ENZIAN_PCIE)
+    assert not machine.coherent
+    assert machine.fabric is None
+
+
+def test_modern_presets():
+    assert not Machine(MODERN_SERVER).coherent
+    cxl = Machine(MODERN_SERVER_CXL)
+    assert cxl.coherent
+    assert cxl.fabric.line_bytes == 64
+
+
+def test_machine_aggregate_counters():
+    machine = Machine(ENZIAN)
+
+    def proc(core):
+        yield from core.execute(1000)
+
+    machine.sim.process(proc(machine.cores[0]))
+    machine.sim.process(proc(machine.cores[1]))
+    machine.run()
+    assert machine.total_instructions() == 2000
+    assert machine.total_busy_ns() > 0
+    assert machine.total_stall_ns() == 0
+
+
+def test_machine_seeded_rng_reproducible():
+    a = Machine(ENZIAN, seed=5).rng.stream("w").random()
+    b = Machine(ENZIAN, seed=5).rng.stream("w").random()
+    assert a == b

@@ -1,0 +1,95 @@
+"""Unit tests for the IOMMU/IOTLB model."""
+
+import pytest
+
+from repro.hw.iommu import PAGE_BYTES, Iommu, IommuParams
+from repro.sim import Simulator
+
+
+def run(sim, generator):
+    sim.process(generator)
+    sim.run()
+
+
+def test_pages_of_spans():
+    iommu = Iommu(Simulator())
+    assert list(iommu.pages_of(0, 1)) == [0]
+    assert list(iommu.pages_of(0, PAGE_BYTES)) == [0]
+    assert list(iommu.pages_of(0, PAGE_BYTES + 1)) == [0, 1]
+    assert list(iommu.pages_of(PAGE_BYTES - 1, 2)) == [0, 1]
+    with pytest.raises(ValueError):
+        list(iommu.pages_of(0, 0))
+
+
+def test_miss_then_hit_costs():
+    sim = Simulator()
+    iommu = Iommu(sim, IommuParams(lookup_ns=25, walk_ns=600))
+    run(sim, iommu.translate(0x1000, 64))
+    first = sim.now
+    run(sim, iommu.translate(0x1000, 64))
+    second = sim.now - first
+    assert first == pytest.approx(625)  # lookup + walk
+    assert second == pytest.approx(25)  # hit
+    assert iommu.stats.lookups == 2
+    assert iommu.stats.misses == 1
+
+
+def test_lru_eviction():
+    sim = Simulator()
+    iommu = Iommu(sim, IommuParams(iotlb_entries=2))
+    for page in (0, 1, 2):  # page 0 evicted by 2
+        run(sim, iommu.translate(page * PAGE_BYTES, 1))
+    run(sim, iommu.translate(0, 1))  # page 0: miss again
+    assert iommu.stats.misses == 4
+
+
+def test_lru_touch_refreshes():
+    sim = Simulator()
+    iommu = Iommu(sim, IommuParams(iotlb_entries=2))
+    run(sim, iommu.translate(0 * PAGE_BYTES, 1))
+    run(sim, iommu.translate(1 * PAGE_BYTES, 1))
+    run(sim, iommu.translate(0 * PAGE_BYTES, 1))  # refresh page 0
+    run(sim, iommu.translate(2 * PAGE_BYTES, 1))  # evicts page 1
+    run(sim, iommu.translate(0 * PAGE_BYTES, 1))  # still resident
+    assert iommu.stats.misses == 3
+
+
+def test_invalidate_forces_rewalk():
+    sim = Simulator()
+    iommu = Iommu(sim)
+    run(sim, iommu.translate(0x5000, 64))
+    iommu.invalidate(0x5000, 64)
+    assert iommu.stats.invalidations == 1
+    run(sim, iommu.translate(0x5000, 64))
+    assert iommu.stats.misses == 2
+
+
+def test_hit_rate_and_validation():
+    sim = Simulator()
+    iommu = Iommu(sim)
+    assert iommu.stats.hit_rate == 0.0
+    run(sim, iommu.translate(0, 1))
+    run(sim, iommu.translate(0, 1))
+    assert iommu.stats.hit_rate == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        Iommu(sim, IommuParams(iotlb_entries=0))
+
+
+def test_link_integration_trusted_vs_untrusted():
+    from repro.hw import ENZIAN_PCIE, Machine
+
+    machine = Machine(ENZIAN_PCIE)
+    times = []
+
+    def dma(addr):
+        t0 = machine.sim.now
+        yield from machine.link.dma_read(64, addr=addr)
+        times.append(machine.sim.now - t0)
+
+    # Trusted: no IOMMU installed -> address ignored.
+    machine.sim.process(dma(0x9000))
+    machine.run()
+    machine.link.iommu = Iommu(machine.sim)
+    machine.sim.process(dma(0xA000))
+    machine.run()
+    assert times[1] > times[0]  # translation cost appeared

@@ -1,0 +1,76 @@
+"""Sanity tests over the calibration presets: the relationships the
+experiments rely on must hold in the constants themselves."""
+
+import dataclasses
+
+from repro.hw.params import (
+    CXL3,
+    ECI,
+    ENZIAN,
+    ENZIAN_PCIE,
+    MODERN_SERVER,
+    MODERN_SERVER_CXL,
+    PCIE_GEN3,
+    PCIE_GEN5,
+)
+
+
+def test_coherence_flags():
+    assert ECI.coherent and CXL3.coherent
+    assert not PCIE_GEN3.coherent and not PCIE_GEN5.coherent
+
+
+def test_line_sizes_match_platforms():
+    assert ECI.line_bytes == 128       # Enzian
+    assert CXL3.line_bytes == 64
+    assert ENZIAN.cache.line_bytes == 128
+    assert MODERN_SERVER_CXL.cache.line_bytes == 64
+
+
+def test_latency_orderings():
+    # Newer interconnects are faster, one way and MMIO both.
+    assert CXL3.one_way_ns < ECI.one_way_ns
+    assert PCIE_GEN5.one_way_ns < PCIE_GEN3.one_way_ns
+    assert PCIE_GEN5.mmio_read_ns < PCIE_GEN3.mmio_read_ns
+    # MMIO reads are round trips: at least 2x one-way everywhere.
+    for link in (ECI, CXL3, PCIE_GEN3, PCIE_GEN5):
+        assert link.mmio_read_ns >= 2 * link.one_way_ns
+        assert link.mmio_write_ns >= link.one_way_ns
+
+
+def test_enzian_shape():
+    assert ENZIAN.n_cores == 48        # the paper: "48 on Enzian"
+    assert ENZIAN.core.frequency.ghz == 2.0
+    assert ENZIAN.interconnect is ECI
+    assert ENZIAN_PCIE.interconnect is PCIE_GEN3
+    # Same CPU socket in both Enzian presets.
+    assert ENZIAN.core == ENZIAN_PCIE.core
+
+
+def test_paper_constants():
+    assert ENZIAN.nic.tryagain_timeout_ns == 15e6   # 15 ms, §5.1
+    assert ENZIAN.link_bps == 100e9 / 8             # 100 Gb/s links
+
+
+def test_presets_are_frozen():
+    import pytest
+
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        ENZIAN.n_cores = 1  # type: ignore[misc]
+
+
+def test_modern_server_faster_cpu():
+    assert MODERN_SERVER.core.frequency.hz > ENZIAN.core.frequency.hz
+    assert MODERN_SERVER.core.cpi < ENZIAN.core.cpi
+
+
+def test_sw_unmarshal_slower_than_nic():
+    """The offload must actually be an offload: NIC deserialisation is
+    orders of magnitude below the software path for a small message."""
+    from repro.rpc.marshal import software_unmarshal_instructions
+
+    sw_ns = ENZIAN.core.frequency.cycles_to_ns(
+        software_unmarshal_instructions(3, 64) * ENZIAN.core.cpi
+    )
+    nic_ns = ENZIAN.nic.deserialize_ns_per_64b
+    assert sw_ns > 20 * nic_ns

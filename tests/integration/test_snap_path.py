@@ -1,0 +1,160 @@
+"""End-to-end tests of the Snap-style dedicated-engine stack."""
+
+import pytest
+
+from repro.experiments import build_bypass_testbed
+from repro.rpc.snap import SnapEngine, snap_engine_body, snap_worker_body
+from repro.sim import MS
+
+
+def build_snap(bed, n_services=1, handler_cost=500):
+    engine = SnapEngine(bed.sim, bed.registry, bed.user_netctx)
+    services = []
+    for index in range(n_services):
+        service = bed.registry.create_service(f"s{index}", udp_port=9000 + index)
+        method = bed.registry.add_method(
+            service, "m", lambda args: list(args), cost_instructions=handler_cost
+        )
+        bed.nic.steer_port(9000 + index, 0)
+        services.append((service, method))
+    engine_proc = bed.kernel.spawn_process("snap-engine")
+    bed.kernel.spawn_thread(
+        engine_proc,
+        snap_engine_body(bed.nic, [bed.nic.queues[0]], engine),
+        name="snap-engine",
+        pinned_core=0,
+    )
+    for index, (service, _method) in enumerate(services):
+        worker_proc = bed.kernel.spawn_process(f"s{index}-worker")
+        bed.kernel.spawn_thread(
+            worker_proc,
+            snap_worker_body(engine, service),
+            name=f"s{index}-worker",
+            pinned_core=1 + (index % 2),
+        )
+    return engine, services
+
+
+def test_snap_single_rpc():
+    bed = build_bypass_testbed()
+    engine, services = build_snap(bed)
+    service, method = services[0]
+    client = bed.clients[0]
+    results = []
+
+    def driver():
+        yield bed.sim.timeout(10_000)
+        result = yield from client.call(
+            args=[3, "snap"], **bed.call_args(service, method)
+        )
+        results.append(result)
+
+    bed.sim.process(driver())
+    bed.machine.run(until=100 * MS)
+    assert results and results[0].results == [3, "snap"]
+
+
+def test_snap_multiple_services_one_engine():
+    bed = build_bypass_testbed()
+    engine, services = build_snap(bed, n_services=3)
+    client = bed.clients[0]
+    results = []
+
+    def driver():
+        yield bed.sim.timeout(10_000)
+        for service, method in services:
+            result = yield from client.call(
+                args=[service.name], **bed.call_args(service, method)
+            )
+            results.append(result.results[0])
+
+    bed.sim.process(driver())
+    bed.machine.run(until=200 * MS)
+    assert results == ["s0", "s1", "s2"]
+    assert all(
+        engine.channel_for(s.service_id).enqueued == 1 for s, _m in services
+    )
+
+
+def test_snap_workers_block_engine_spins():
+    """The deployment's shape: one hot engine core, schedulable workers."""
+    bed = build_bypass_testbed()
+    build_snap(bed)
+    bed.machine.run(until=5 * MS)
+    engine_core = bed.machine.cores[0]
+    worker_core = bed.machine.cores[1]
+    assert engine_core.counters.busy_ns > 4 * MS   # spinning
+    assert worker_core.counters.busy_ns < 0.1 * MS  # blocked
+
+
+def test_snap_latency_between_bypass_and_linux():
+    """The cross-core hop puts Snap behind pure bypass but ahead of the
+    syscall/softirq stack."""
+    from repro.experiments import build_linux_testbed
+    from repro.rpc.server import bypass_worker, linux_udp_worker
+
+    def measure(bed, service, method, n=8):
+        client = bed.clients[0]
+        rtts = []
+
+        def driver():
+            yield bed.sim.timeout(10_000)
+            for i in range(n):
+                result = yield from client.call(
+                    args=[i], **bed.call_args(service, method)
+                )
+                rtts.append(result.rtt_ns)
+
+        bed.sim.process(driver())
+        bed.machine.run(until=500 * MS)
+        return sum(rtts[1:]) / (len(rtts) - 1)
+
+    bed = build_bypass_testbed()
+    engine, services = build_snap(bed)
+    snap_rtt = measure(bed, *services[0])
+
+    bed = build_bypass_testbed()
+    service = bed.registry.create_service("s", udp_port=9000)
+    method = bed.registry.add_method(service, "m", lambda a: list(a),
+                                     cost_instructions=500)
+    bed.nic.steer_port(9000, 0)
+    proc = bed.kernel.spawn_process("pmd")
+    bed.kernel.spawn_thread(
+        proc, bypass_worker(bed.nic, bed.nic.queues[0], bed.user_netctx,
+                            bed.registry),
+        pinned_core=0,
+    )
+    bypass_rtt = measure(bed, service, method)
+
+    bed = build_linux_testbed()
+    service = bed.registry.create_service("s", udp_port=9000)
+    method = bed.registry.add_method(service, "m", lambda a: list(a),
+                                     cost_instructions=500)
+    socket = bed.netstack.bind(9000)
+    proc = bed.kernel.spawn_process("srv")
+    bed.kernel.spawn_thread(proc, linux_udp_worker(socket, bed.registry))
+    linux_rtt = measure(bed, service, method)
+
+    assert bypass_rtt < snap_rtt < linux_rtt
+
+
+def test_snap_error_response_for_bad_method():
+    bed = build_bypass_testbed()
+    engine, services = build_snap(bed)
+    service, _method = services[0]
+    client = bed.clients[0]
+    results = []
+
+    def driver():
+        yield bed.sim.timeout(10_000)
+        done = client.send_request(
+            bed.server_mac, bed.server_ip, 9000,
+            service.service_id, 99, [1],  # unknown method
+        )
+        result = yield done
+        results.append(result)
+
+    bed.sim.process(driver())
+    bed.machine.run(until=100 * MS)
+    assert results
+    assert results[0].results[0] == "__rpc_error__"

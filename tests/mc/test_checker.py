@@ -1,0 +1,100 @@
+"""Unit tests for the explicit-state model checker."""
+
+import pytest
+
+from repro.mc import ModelChecker, Spec
+
+
+class Counter(Spec):
+    """A toy spec: count 0..limit, wrap around."""
+
+    name = "counter"
+
+    def __init__(self, limit=5, wrap=True, bad_at=None):
+        self.limit = limit
+        self.wrap = wrap
+        self.bad_at = bad_at
+
+    def initial_states(self):
+        return [0]
+
+    def actions(self, state):
+        if state < self.limit:
+            return [("inc", state + 1)]
+        if self.wrap:
+            return [("reset", 0)]
+        return []
+
+    def invariants(self):
+        if self.bad_at is None:
+            return [("InRange", lambda s: 0 <= s <= self.limit)]
+        return [("NotBad", lambda s: s != self.bad_at)]
+
+    def is_terminal(self, state):
+        return not self.wrap and state == self.limit
+
+
+def test_exhaustive_exploration_counts_states():
+    result = ModelChecker(Counter(limit=5)).run()
+    assert result.ok
+    assert result.states_explored == 6
+    assert result.transitions == 6  # includes the wrap edge
+    assert result.max_depth == 5
+
+
+def test_invariant_violation_found_with_trace():
+    result = ModelChecker(Counter(limit=5, bad_at=3)).run()
+    assert not result.ok
+    assert result.violation.kind == "invariant"
+    assert result.violation.name == "NotBad"
+    assert result.violation.state == 3
+    assert result.violation.trace == ("inc", "inc", "inc")
+
+
+def test_deadlock_detected():
+    result = ModelChecker(Counter(limit=3, wrap=False, bad_at=99)).run()
+    # state 3 has no actions and is_terminal says it's fine...
+    assert result.ok
+
+    class NoTerminal(Counter):
+        def is_terminal(self, state):
+            return False
+
+    result = ModelChecker(NoTerminal(limit=3, wrap=False, bad_at=99)).run()
+    assert not result.ok
+    assert result.violation.kind == "deadlock"
+    assert result.violation.state == 3
+
+
+def test_max_states_truncation():
+    result = ModelChecker(Counter(limit=1000), max_states=10).run()
+    assert result.truncated
+    assert not result.ok
+    assert result.states_explored == 10
+
+
+def test_initial_state_violation():
+    class BadStart(Counter):
+        def invariants(self):
+            return [("NeverZero", lambda s: s != 0)]
+
+    result = ModelChecker(BadStart()).run()
+    assert result.violation.name == "NeverZero"
+    assert result.violation.trace == ()
+
+
+def test_multiple_initial_states_deduped():
+    class TwoStarts(Counter):
+        def initial_states(self):
+            return [0, 0, 1]
+
+    result = ModelChecker(TwoStarts(limit=3)).run()
+    assert result.ok
+    assert result.states_explored == 4
+
+
+def test_summary_strings():
+    ok = ModelChecker(Counter()).run()
+    assert "OK" in ok.summary()
+    bad = ModelChecker(Counter(bad_at=2)).run()
+    assert "VIOLATION" in bad.summary()

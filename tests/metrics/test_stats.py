@@ -1,0 +1,78 @@
+"""Unit tests for the small-sample statistics helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.stats import (
+    MeanCI,
+    bootstrap_ci,
+    mean,
+    stddev,
+    t_confidence_interval,
+)
+
+
+def test_mean_and_stddev():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    assert stddev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(
+        2.138, rel=1e-3
+    )
+
+
+def test_mean_empty_raises():
+    with pytest.raises(ValueError):
+        mean([])
+    with pytest.raises(ValueError):
+        stddev([1.0])
+
+
+def test_t_interval_contains_mean():
+    ci = t_confidence_interval([10.0, 12.0, 11.0, 13.0, 9.0])
+    assert ci.low < ci.mean < ci.high
+    assert ci.mean == pytest.approx(11.0)
+    assert ci.half_width > 0
+
+
+def test_t_interval_narrows_with_samples():
+    tight = t_confidence_interval([10.0, 10.1] * 10)
+    loose = t_confidence_interval([10.0, 10.1])
+    assert tight.half_width < loose.half_width
+
+
+def test_t_interval_needs_two():
+    with pytest.raises(ValueError):
+        t_confidence_interval([1.0])
+
+
+def test_ci_overlap():
+    a = MeanCI(mean=10.0, half_width=1.0)
+    b = MeanCI(mean=11.5, half_width=1.0)
+    c = MeanCI(mean=20.0, half_width=1.0)
+    assert a.overlaps(b) and b.overlaps(a)
+    assert not a.overlaps(c)
+
+
+def test_ci_str():
+    assert "±" in str(MeanCI(mean=3.0, half_width=0.5))
+
+
+def test_bootstrap_deterministic_and_bracketing():
+    samples = [1.0, 2.0, 3.0, 4.0, 100.0]
+    point, low, high = bootstrap_ci(samples, mean, seed=7)
+    point2, low2, high2 = bootstrap_ci(samples, mean, seed=7)
+    assert (point, low, high) == (point2, low2, high2)
+    assert low <= point <= high
+
+
+def test_bootstrap_validation():
+    with pytest.raises(ValueError):
+        bootstrap_ci([], mean)
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0], mean, confidence=1.5)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=2, max_size=40))
+def test_t_interval_bracketing_property(samples):
+    ci = t_confidence_interval(samples)
+    assert ci.low <= ci.mean <= ci.high

@@ -1,0 +1,135 @@
+"""Unit tests for the link and switch models."""
+
+import pytest
+
+from repro.net import Link, MacAddress, SwitchFabric, build_udp_frame, ip_address
+from repro.sim import Simulator
+
+MAC_A = MacAddress.from_string("02:00:00:00:00:0a")
+MAC_B = MacAddress.from_string("02:00:00:00:00:0b")
+MAC_C = MacAddress.from_string("02:00:00:00:00:0c")
+IP_A, IP_B = ip_address("10.0.0.1"), ip_address("10.0.0.2")
+
+
+def frame(src=MAC_A, dst=MAC_B, payload=b"x" * 10):
+    return build_udp_frame(src, dst, IP_A, IP_B, 1, 2, payload)
+
+
+def test_link_latency_is_serialization_plus_propagation():
+    sim = Simulator()
+    link = Link(sim, bandwidth_bps=12.5e9, propagation_ns=500)
+    f = frame()
+    arrivals = []
+
+    def sender():
+        yield from link.send(f)
+
+    def receiver():
+        got = yield from link.receive()
+        arrivals.append((sim.now, got))
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run()
+    t, got = arrivals[0]
+    assert got is f
+    assert t == pytest.approx(link.serialization_ns(f) + 500)
+
+
+def test_link_fifo_and_backpressure_serialization():
+    sim = Simulator()
+    link = Link(sim, bandwidth_bps=12.5e9, propagation_ns=0)
+    order = []
+
+    def sender():
+        yield from link.send(frame(payload=b"1" * 1000))
+        yield from link.send(frame(payload=b"2" * 1000))
+
+    def receiver():
+        for _ in range(2):
+            got = yield from link.receive()
+            order.append((sim.now, got.data[-1:]))
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run()
+    assert [o[1] for o in order] == [b"1", b"2"]
+    # Second frame arrives one serialisation later than the first.
+    gap = order[1][0] - order[0][0]
+    assert gap == pytest.approx(link.serialization_ns(frame(payload=b"2" * 1000)))
+
+
+def test_link_queue_overflow_drops():
+    sim = Simulator()
+    link = Link(sim, bandwidth_bps=12.5e9, propagation_ns=0, queue_frames=2)
+
+    def sender():
+        for _ in range(5):
+            yield from link.send(frame())
+
+    sim.process(sender())
+    sim.run()
+    assert link.stats.dropped == 3
+    assert len(link.rx_queue) == 2
+
+
+def test_switch_forwards_by_mac():
+    sim = Simulator()
+    switch = SwitchFabric(sim)
+    port_a = switch.attach(MAC_A)
+    port_b = switch.attach(MAC_B)
+    got = []
+
+    def sender():
+        yield from port_a.send(frame(src=MAC_A, dst=MAC_B))
+
+    def receiver():
+        f = yield from port_b.receive()
+        got.append(f)
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run()
+    assert len(got) == 1
+
+
+def test_switch_drops_unknown_mac():
+    sim = Simulator()
+    switch = SwitchFabric(sim)
+    port_a = switch.attach(MAC_A)
+
+    def sender():
+        yield from port_a.send(frame(src=MAC_A, dst=MAC_C))
+
+    sim.process(sender())
+    sim.run(until=1_000_000)
+    assert switch.unknown_dst_drops == 1
+
+
+def test_switch_rejects_duplicate_mac():
+    sim = Simulator()
+    switch = SwitchFabric(sim)
+    switch.attach(MAC_A)
+    with pytest.raises(ValueError):
+        switch.attach(MAC_A)
+
+
+def test_switch_three_way():
+    sim = Simulator()
+    switch = SwitchFabric(sim)
+    ports = {m.value: switch.attach(m) for m in (MAC_A, MAC_B, MAC_C)}
+    got = []
+
+    def sender(src, dst):
+        yield from ports[src.value].send(frame(src=src, dst=dst))
+
+    def receiver(mac, tag):
+        f = yield from ports[mac.value].receive()
+        got.append(tag)
+
+    sim.process(sender(MAC_A, MAC_B))
+    sim.process(sender(MAC_B, MAC_C))
+    sim.process(receiver(MAC_B, "b"))
+    sim.process(receiver(MAC_C, "c"))
+    sim.run()
+    assert sorted(got) == ["b", "c"]

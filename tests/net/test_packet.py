@@ -1,0 +1,98 @@
+"""Unit + property tests for frame building/parsing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import (
+    Frame,
+    HeaderError,
+    MacAddress,
+    build_udp_frame,
+    ip_address,
+    parse_udp_frame,
+)
+from repro.net.packet import MIN_WIRE_BYTES, WIRE_OVERHEAD_BYTES
+
+SRC_MAC = MacAddress.from_string("02:00:00:00:00:01")
+DST_MAC = MacAddress.from_string("02:00:00:00:00:02")
+SRC_IP = ip_address("10.0.0.1")
+DST_IP = ip_address("10.0.0.2")
+
+
+def make(payload=b"hello", **kw):
+    return build_udp_frame(
+        SRC_MAC, DST_MAC, SRC_IP, DST_IP, 7000, 9000, payload, **kw
+    )
+
+
+def test_ip_address_parse():
+    assert ip_address("10.0.0.1") == 0x0A000001
+    assert ip_address("255.255.255.255") == 0xFFFFFFFF
+    with pytest.raises(HeaderError):
+        ip_address("1.2.3")
+    with pytest.raises(HeaderError):
+        ip_address("1.2.3.999")
+
+
+def test_build_and_parse_roundtrip():
+    frame = make(b"RPC-PAYLOAD")
+    parsed = parse_udp_frame(frame)
+    assert parsed.payload == b"RPC-PAYLOAD"
+    assert parsed.eth.dst == DST_MAC
+    assert parsed.ip.src == SRC_IP and parsed.ip.dst == DST_IP
+    assert parsed.udp.src_port == 7000 and parsed.udp.dst_port == 9000
+
+
+def test_frame_wire_bytes_minimum():
+    frame = make(b"")
+    assert frame.wire_bytes == MIN_WIRE_BYTES + WIRE_OVERHEAD_BYTES
+
+
+def test_frame_wire_bytes_large():
+    frame = make(b"\x00" * 1400)
+    assert frame.wire_bytes == len(frame.data) + WIRE_OVERHEAD_BYTES
+
+
+def test_parse_rejects_corrupted_udp_checksum():
+    frame = make(b"payload!")
+    raw = bytearray(frame.data)
+    raw[-1] ^= 0xFF  # corrupt payload; UDP checksum now wrong
+    with pytest.raises(HeaderError):
+        parse_udp_frame(Frame(bytes(raw)))
+
+
+def test_parse_rejects_truncation():
+    frame = make(b"payload!")
+    with pytest.raises(HeaderError):
+        parse_udp_frame(Frame(frame.data[:30]))
+
+
+def test_parse_rejects_non_ipv4():
+    frame = make()
+    raw = bytearray(frame.data)
+    raw[12:14] = b"\x86\xdd"  # IPv6 ethertype
+    with pytest.raises(HeaderError):
+        parse_udp_frame(Frame(bytes(raw)))
+
+
+def test_frame_meta_and_born_ns():
+    frame = make(b"x", born_ns=123.0, meta={"req": 7})
+    assert frame.born_ns == 123.0
+    assert frame.meta["req"] == 7
+
+
+@given(st.binary(max_size=2000))
+def test_roundtrip_any_payload(payload):
+    frame = make(payload)
+    assert parse_udp_frame(frame).payload == payload
+
+
+@given(
+    st.integers(min_value=0, max_value=65535),
+    st.integers(min_value=0, max_value=65535),
+)
+def test_roundtrip_any_ports(sport, dport):
+    frame = build_udp_frame(SRC_MAC, DST_MAC, SRC_IP, DST_IP, sport, dport, b"p")
+    parsed = parse_udp_frame(frame)
+    assert (parsed.udp.src_port, parsed.udp.dst_port) == (sport, dport)

@@ -1,0 +1,74 @@
+"""Unit tests for the shared NIC TX engine."""
+
+from repro.hw import ENZIAN, Machine
+from repro.net.headers import MacAddress
+from repro.net.link import SwitchFabric
+from repro.net.packet import build_udp_frame
+from repro.nic.base import BaseNic
+from repro.sim import MS
+
+MAC_A = MacAddress.from_string("02:00:00:00:00:01")
+MAC_B = MacAddress.from_string("02:00:00:00:00:02")
+
+
+class _TxOnlyNic(BaseNic):
+    """Minimal concrete NIC: no RX, fixed per-frame TX pipeline cost."""
+
+    def __init__(self, machine, port, tx_cost_ns=100.0):
+        super().__init__(machine, port, name="txnic")
+        self.tx_cost_ns = tx_cost_ns
+
+    def _rx_loop(self):
+        yield self.sim.timeout(0)
+
+    def _tx_frame(self, frame):
+        yield self.sim.timeout(self.tx_cost_ns)
+
+
+def _frame(tag):
+    return build_udp_frame(MAC_A, MAC_B, 1, 2, 10, 20, bytes([tag]) * 10)
+
+
+def test_tx_engine_preserves_order_and_counts():
+    machine = Machine(ENZIAN)
+    switch = SwitchFabric(machine.sim)
+    port = switch.attach(MAC_A)
+    peer = switch.attach(MAC_B)
+    nic = _TxOnlyNic(machine, port)
+    nic.start()
+    nic.start()  # idempotent
+
+    for tag in (1, 2, 3):
+        nic.queue_tx(_frame(tag))
+    received = []
+
+    def receiver():
+        for _ in range(3):
+            frame = yield from peer.receive()
+            received.append(frame.data[-1])
+
+    machine.sim.process(receiver())
+    machine.run(until=1 * MS)
+    assert received == [1, 2, 3]
+    assert nic.stats.tx_frames == 3
+
+
+def test_tx_pipeline_cost_spaces_frames():
+    machine = Machine(ENZIAN)
+    switch = SwitchFabric(machine.sim)
+    port = switch.attach(MAC_A)
+    peer = switch.attach(MAC_B)
+    nic = _TxOnlyNic(machine, port, tx_cost_ns=5000.0)
+    nic.start()
+    nic.queue_tx(_frame(1))
+    nic.queue_tx(_frame(2))
+    times = []
+
+    def receiver():
+        for _ in range(2):
+            yield from peer.receive()
+            times.append(machine.sim.now)
+
+    machine.sim.process(receiver())
+    machine.run(until=1 * MS)
+    assert times[1] - times[0] >= 5000.0

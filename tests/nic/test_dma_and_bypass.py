@@ -1,0 +1,152 @@
+"""Unit/integration tests for DMA-NIC internals and bypass multiplexing."""
+
+import pytest
+
+from repro.experiments import build_bypass_testbed, build_linux_testbed
+from repro.os import ops
+from repro.rpc.server import bypass_worker
+from repro.sim import MS
+
+
+def test_dma_nic_rss_spreads_flows_across_queues():
+    bed = build_linux_testbed(n_queues=4, n_clients=1)
+    socket = bed.netstack.bind(9000)
+    client = bed.clients[0]
+    # Many distinct source ports -> distinct RSS hashes.
+    for i in range(32):
+        client.send_request(
+            bed.server_mac, bed.server_ip, 9000, 1, 1, [i]
+        )
+    bed.machine.run(until=5 * MS)
+    # Data arrived (socket has no worker; datagrams queue).
+    assert socket.stats.enqueued > 0
+    # Interrupts went to more than one core.
+    irq_cores = {q.core_id for q in bed.nic.queues}
+    assert len(irq_cores) == 4
+
+
+def test_dma_nic_interrupt_moderation():
+    """Under a burst, NAPI keeps the IRQ disabled: far fewer interrupts
+    than frames."""
+    bed = build_linux_testbed(n_queues=1)
+    bed.netstack.bind(9000)
+    client = bed.clients[0]
+    for i in range(64):
+        client.send_request(bed.server_mac, bed.server_ip, 9000, 1, 1, [i])
+    bed.machine.run(until=10 * MS)
+    assert bed.nic.stats.rx_frames == 64
+    assert bed.machine.link.stats.interrupts < 64
+
+
+def test_dma_queue_overflow_drops():
+    bed = build_linux_testbed(n_queues=1)
+    bed.nic.queues[0].capacity = 4
+    # No NAPI consumer (no kernel IRQ handling on the queue's completed
+    # list consuming fast enough): flood it.
+    bed.netstack.bind(9000)
+    # Suppress kernel drain by pointing the IRQ at a core we stall?
+    # Simpler: detach the kernel so no NAPI poll ever runs.
+    bed.nic.kernel = None
+    client = bed.clients[0]
+    for i in range(16):
+        client.send_request(bed.server_mac, bed.server_ip, 9000, 1, 1, [i])
+    bed.machine.run(until=5 * MS)
+    assert bed.nic.stats.rx_dropped == 12
+    assert bed.nic.queues[0].drops == 12
+
+
+def test_bypass_poll_many_serves_multiple_queues():
+    bed = build_bypass_testbed(n_queues=4)
+    services = []
+    for i in range(4):
+        service = bed.registry.create_service(f"s{i}", udp_port=9000 + i)
+        method = bed.registry.add_method(
+            service, "m", lambda args: list(args), cost_instructions=200
+        )
+        bed.nic.steer_port(9000 + i, i)
+        services.append((service, method))
+    process = bed.kernel.spawn_process("pmd")
+    bed.kernel.spawn_thread(
+        process,
+        bypass_worker(bed.nic, list(bed.nic.queues), bed.user_netctx,
+                      bed.registry),
+        pinned_core=0,
+    )
+    client = bed.clients[0]
+    results = []
+
+    def driver():
+        yield bed.sim.timeout(10_000)
+        for service, method in services:
+            result = yield from client.call(
+                args=[service.name], **bed.call_args(service, method)
+            )
+            results.append(result.results[0])
+
+    bed.sim.process(driver())
+    bed.machine.run(until=100 * MS)
+    assert results == ["s0", "s1", "s2", "s3"]
+
+
+def test_poll_many_sweep_costs_scale_with_queue_count():
+    """Popping an already-available frame charges one sweep across all
+    polled queues: 8 queues cost ~8x the per-queue check of 1 queue."""
+    from repro.net.packet import Frame
+
+    def busy_for(n_queues):
+        bed = build_bypass_testbed(n_queues=n_queues)
+        # Pre-fill queue 0 so the poll finds a frame immediately (no
+        # spin segment, just the sweep + rx charge).
+        bed.nic.queues[0].ring.append(Frame(b"\x00" * 64))
+        core = bed.machine.cores[0]
+        state = {}
+
+        def body():
+            before = core.counters.busy_ns
+            frame = yield bed.nic.poll_many_op(list(bed.nic.queues))
+            state["busy"] = core.counters.busy_ns - before
+            assert frame is not None
+
+        process = bed.kernel.spawn_process("pmd")
+        bed.kernel.spawn_thread(process, body(), pinned_core=0)
+        bed.machine.run(until=1 * MS)
+        return state["busy"]
+
+    narrow = busy_for(1)
+    wide = busy_for(8)
+    rx = build_bypass_testbed().machine.params.nic.pmd_rx_instructions
+    # wide - narrow == 7 extra per-queue checks' worth of work.
+    assert wide > narrow * 1.5
+    assert wide - narrow == pytest.approx(
+        build_bypass_testbed().machine.cores[0].instructions_ns(60 * 7)
+    )
+
+
+def test_poll_many_rejects_empty():
+    bed = build_bypass_testbed()
+    with pytest.raises(ValueError):
+        bed.nic.poll_many_op([])
+
+
+def test_bypass_tx_counts():
+    bed = build_bypass_testbed()
+    service = bed.registry.create_service("s", udp_port=9000)
+    method = bed.registry.add_method(service, "m", lambda args: list(args))
+    bed.nic.steer_port(9000, 0)
+    process = bed.kernel.spawn_process("pmd")
+    bed.kernel.spawn_thread(
+        process,
+        bypass_worker(bed.nic, bed.nic.queues[0], bed.user_netctx,
+                      bed.registry),
+        pinned_core=0,
+    )
+    client = bed.clients[0]
+
+    def driver():
+        yield bed.sim.timeout(10_000)
+        yield from client.call(args=[1], **bed.call_args(service, method))
+
+    bed.sim.process(driver())
+    bed.machine.run(until=50 * MS)
+    assert bed.nic.stats.tx_frames == 1
+    assert bed.machine.link.stats.mmio_writes == 1  # one doorbell

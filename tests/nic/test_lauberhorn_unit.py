@@ -1,0 +1,115 @@
+"""Direct unit tests of LauberhornNic internals (no full testbed)."""
+
+import pytest
+
+from repro.experiments import build_lauberhorn_testbed
+from repro.nic.lauberhorn import EndpointKind
+from repro.sim import MS
+
+
+def test_create_endpoint_requires_service_for_user():
+    bed = build_lauberhorn_testbed()
+    with pytest.raises(ValueError):
+        bed.nic.create_endpoint(EndpointKind.USER)
+
+
+def test_create_endpoint_registers_all_lines():
+    bed = build_lauberhorn_testbed()
+    service = bed.registry.create_service("s", udp_port=9000)
+    ep = bed.nic.create_endpoint(EndpointKind.USER, service=service, n_aux=4)
+    for addr in (*ep.ctrl_addrs, *ep.aux_addrs, *ep.resp_aux_addrs):
+        assert bed.machine.fabric.is_homed(addr)
+        assert bed.nic._by_line[addr - addr % ep.line_bytes] is ep
+
+
+def test_kernel_endpoint_needs_no_service():
+    bed = build_lauberhorn_testbed()
+    ep = bed.nic.create_endpoint(EndpointKind.KERNEL)
+    assert ep.service is None
+    assert ep in bed.nic._kernel_endpoints
+
+
+def test_lauberhorn_requires_coherent_machine():
+    from repro.hw import ENZIAN_PCIE, Machine
+    from repro.net.headers import MacAddress
+    from repro.net.link import SwitchFabric
+    from repro.nic.lauberhorn import LauberhornNic
+    from repro.rpc.service import ServiceRegistry
+
+    machine = Machine(ENZIAN_PCIE)
+    switch = SwitchFabric(machine.sim)
+    port = switch.attach(MacAddress(1), "x")
+    with pytest.raises(ValueError):
+        LauberhornNic(machine, port, ServiceRegistry(), mac=MacAddress(1), ip=1)
+
+
+def test_send_tryagain_and_retire_noop_when_not_parked():
+    bed = build_lauberhorn_testbed()
+    service = bed.registry.create_service("s", udp_port=9000)
+    ep = bed.nic.create_endpoint(EndpointKind.USER, service=service)
+    assert not bed.nic.send_tryagain(ep)
+    assert not bed.nic.retire(ep)
+
+
+def test_completion_signal_noop_without_inflight():
+    bed = build_lauberhorn_testbed()
+    service = bed.registry.create_service("s", udp_port=9000)
+    ep = bed.nic.create_endpoint(EndpointKind.USER, service=service)
+    assert not bed.nic.completion_signal(ep)
+
+
+def test_aux_line_fill_answers_immediately():
+    """AUX lines are ordinary device-homed data: a fill must not park."""
+    bed = build_lauberhorn_testbed()
+    service = bed.registry.create_service("s", udp_port=9000)
+    ep = bed.nic.create_endpoint(EndpointKind.USER, service=service)
+    bed.machine.fabric.device_write(ep.aux_addrs[0], b"AUXDATA")
+    got = []
+
+    def loader():
+        data = yield from bed.machine.cores[0].load_line(ep.aux_addrs[0])
+        got.append((bed.sim.now, data[:7]))
+
+    bed.sim.process(loader())
+    bed.machine.run(until=1 * MS)
+    time, data = got[0]
+    assert data == b"AUXDATA"
+    assert time < 2000  # one fill round trip, not a parked load
+
+
+def test_sched_push_cost_declared():
+    bed = build_lauberhorn_testbed()
+    assert bed.nic.sched_push_instructions > 0
+
+
+def test_dma_threshold_boundary():
+    """Payloads exactly at the threshold take DMA; one byte under stays
+    on lines (given enough AUX capacity)."""
+    bed = build_lauberhorn_testbed(n_aux=64, dma_threshold_bytes=2048)
+    service = bed.registry.create_service("s", udp_port=9000)
+    method = bed.registry.add_method(service, "m", lambda a: ["ok"])
+    process = bed.kernel.spawn_process("s")
+    bed.nic.register_service(service, process.pid)
+    ep = bed.nic.create_endpoint(EndpointKind.USER, service=service, n_aux=64)
+    from repro.os.nicsched import lauberhorn_user_loop
+
+    bed.kernel.spawn_thread(
+        process, lauberhorn_user_loop(bed.nic, ep, bed.registry),
+        pinned_core=0,
+    )
+    from repro.workloads.distributions import args_for_payload
+
+    client = bed.clients[0]
+
+    def driver():
+        yield bed.sim.timeout(10_000)
+        yield from client.call(args=args_for_payload(2047),
+                               **bed.call_args(service, method))
+        assert bed.nic.lstats.dma_fallbacks == 0
+        yield from client.call(args=args_for_payload(2048),
+                               **bed.call_args(service, method))
+        assert bed.nic.lstats.dma_fallbacks == 1
+
+    bed.sim.process(driver())
+    bed.machine.run(until=100 * MS)
+    assert bed.nic.lstats.responses_sent == 2

@@ -1,0 +1,74 @@
+"""Unit tests for the NIC telemetry ring."""
+
+import pytest
+
+from repro.nic.lauberhorn.telemetry import RpcTimeline, TelemetryRing
+
+
+def test_timeline_stage_math():
+    timeline = RpcTimeline(tag=1, service_id=1, arrived_ns=100,
+                           delivered_ns=150, completed_ns=650, sent_ns=700)
+    assert timeline.queueing_ns == 50
+    assert timeline.service_ns == 500
+    assert timeline.egress_ns == 50
+    assert timeline.total_ns == 600
+
+
+def test_timeline_partial_stages_none():
+    timeline = RpcTimeline(tag=1, service_id=1, arrived_ns=0)
+    assert timeline.queueing_ns is None
+    assert timeline.service_ns is None
+    assert timeline.total_ns is None
+
+
+def test_ring_lifecycle():
+    ring = TelemetryRing()
+    ring.on_arrival(7, service_id=3, now_ns=10)
+    ring.on_delivery(7, now_ns=20, via_kernel=True)
+    ring.on_completion(7, now_ns=120)
+    ring.on_sent(7, now_ns=130)
+    assert len(ring.completed) == 1
+    timeline = ring.completed[0]
+    assert timeline.via_kernel
+    assert timeline.total_ns == 120
+    assert ring.kernel_dispatch_fraction() == 1.0
+
+
+def test_ring_ignores_unknown_tags():
+    ring = TelemetryRing()
+    ring.on_delivery(99, 1.0, False)
+    ring.on_completion(99, 2.0)
+    ring.on_sent(99, 3.0)
+    assert not ring.completed
+
+
+def test_ring_capacity_eviction():
+    ring = TelemetryRing(capacity=2)
+    for tag in range(4):
+        ring.on_arrival(tag, 1, float(tag))
+        ring.on_delivery(tag, float(tag) + 1, False)
+        ring.on_completion(tag, float(tag) + 2)
+        ring.on_sent(tag, float(tag) + 3)
+    assert len(ring.completed) == 2
+    assert ring.dropped == 2
+    assert [t.tag for t in ring.completed] == [2, 3]
+
+
+def test_ring_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        TelemetryRing(capacity=0)
+
+
+def test_breakdown_filters_by_service():
+    ring = TelemetryRing()
+    for tag, service in ((1, 10), (2, 20)):
+        ring.on_arrival(tag, service, 0.0)
+        ring.on_delivery(tag, 10.0 * service, False)
+        ring.on_completion(tag, 10.0 * service + 5)
+        ring.on_sent(tag, 10.0 * service + 6)
+    assert len(ring.for_service(10)) == 1
+    breakdown = ring.breakdown(10)
+    assert breakdown["queueing"].p50 == 100.0
+    assert ring.breakdown(20)["queueing"].p50 == 200.0
+    # Combined view covers both.
+    assert ring.breakdown()["queueing"].count == 2

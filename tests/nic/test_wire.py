@@ -1,0 +1,139 @@
+"""Unit + property tests for Lauberhorn CONTROL line encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nic.lauberhorn import wire
+
+
+LINE = 128  # Enzian ECI line size
+
+
+def test_small_request_fits_inline():
+    ctrl, aux = wire.encode_request(
+        LINE, service_id=3, method_id=7, code_ptr=0x4000, data_ptr=0x7000,
+        tag=99, payload=b"args",
+    )
+    assert len(ctrl) == LINE
+    assert aux == []
+    line = wire.decode_request_line(ctrl)
+    assert line.is_request and not line.is_tryagain
+    assert line.service_id == 3 and line.method_id == 7
+    assert line.code_ptr == 0x4000 and line.data_ptr == 0x7000
+    assert line.tag == 99
+    assert line.inline == b"args"
+    assert line.n_aux == 0
+
+
+def test_request_spills_to_aux_lines():
+    payload = bytes(range(256)) * 2  # 512 B
+    ctrl, aux = wire.encode_request(
+        LINE, 1, 1, 0, 0, 5, payload,
+    )
+    line = wire.decode_request_line(ctrl)
+    expected_aux = wire.lines_needed(len(payload), LINE)
+    assert line.n_aux == len(aux) == expected_aux
+    assert wire.assemble_request_payload(line, aux) == payload
+
+
+def test_lines_needed_boundaries():
+    inline = wire.max_inline_payload(LINE)
+    assert wire.lines_needed(inline, LINE) == 0
+    assert wire.lines_needed(inline + 1, LINE) == 1
+    assert wire.lines_needed(inline + LINE, LINE) == 1
+    assert wire.lines_needed(inline + LINE + 1, LINE) == 2
+
+
+def test_dma_fallback_has_no_aux():
+    ctrl, aux = wire.encode_request(
+        LINE, 1, 1, 0, 0, 5, b"x" * 10_000,
+        flags=wire.FLAG_VALID_REQ | wire.FLAG_DMA_FALLBACK,
+        dma_addr=0xCAFE000,
+    )
+    assert aux == []
+    line = wire.decode_request_line(ctrl)
+    assert line.is_dma
+    assert line.dma_addr == 0xCAFE000
+    assert line.payload_len == 10_000
+    assert line.inline == b""
+
+
+def test_assemble_dma_rejected():
+    ctrl, _ = wire.encode_request(
+        LINE, 1, 1, 0, 0, 5, b"x" * 100,
+        flags=wire.FLAG_VALID_REQ | wire.FLAG_DMA_FALLBACK, dma_addr=1,
+    )
+    line = wire.decode_request_line(ctrl)
+    with pytest.raises(wire.WireFormatError):
+        wire.assemble_request_payload(line, [])
+
+
+def test_tryagain_retire_sched_hint_lines():
+    ta = wire.decode_request_line(wire.tryagain_line(LINE))
+    assert ta.is_tryagain and not ta.is_request and not ta.is_retire
+    rt = wire.decode_request_line(wire.retire_line(LINE))
+    assert rt.is_retire and not rt.is_request
+    sh = wire.decode_request_line(wire.sched_hint_line(LINE, 42, backlog=9))
+    assert sh.is_sched_hint
+    assert sh.service_id == 42 and sh.payload_len == 9
+
+
+def test_response_roundtrip_inline():
+    ctrl, aux = wire.encode_response(LINE, tag=77, payload=b"result!")
+    assert aux == []
+    line, payload = wire.decode_response(ctrl, [])
+    assert line.is_valid and line.tag == 77
+    assert payload == b"result!"
+
+
+def test_response_roundtrip_with_aux():
+    big = b"z" * 500
+    ctrl, aux = wire.encode_response(LINE, tag=1, payload=big)
+    assert len(aux) == -(-(500 - (LINE - wire.RESP_INLINE_OFFSET)) // LINE)
+    line, payload = wire.decode_response(ctrl, aux)
+    assert payload == big
+
+
+def test_response_truncated_aux_rejected():
+    big = b"z" * 500
+    ctrl, aux = wire.encode_response(LINE, tag=1, payload=big)
+    with pytest.raises(wire.WireFormatError):
+        wire.decode_response(ctrl, aux[:-1])
+
+
+def test_kernel_dispatch_flag():
+    ctrl, _ = wire.encode_request(
+        LINE, 1, 1, 0, 0, 1, b"",
+        flags=wire.FLAG_VALID_REQ | wire.FLAG_KERNEL_DISPATCH,
+    )
+    assert wire.decode_request_line(ctrl).is_kernel_dispatch
+
+
+def test_short_line_rejected():
+    with pytest.raises(wire.WireFormatError):
+        wire.decode_request_line(b"\x00" * 10)
+    with pytest.raises(wire.WireFormatError):
+        wire.decode_response(b"\x00" * 4, [])
+
+
+@given(st.binary(max_size=1500), st.integers(min_value=0, max_value=2**64 - 1))
+def test_request_roundtrip_property(payload, tag):
+    ctrl, aux = wire.encode_request(LINE, 9, 2, 0x40, 0x70, tag, payload)
+    line = wire.decode_request_line(ctrl)
+    assert line.tag == tag
+    assert wire.assemble_request_payload(line, aux) == payload
+
+
+@given(st.binary(max_size=1500))
+def test_response_roundtrip_property(payload):
+    ctrl, aux = wire.encode_response(LINE, 3, payload)
+    _line, out = wire.decode_response(ctrl, aux)
+    assert out == payload
+
+
+@given(st.binary(max_size=300))
+def test_cxl_64b_lines_roundtrip(payload):
+    ctrl, aux = wire.encode_request(64, 1, 1, 0, 0, 1, payload)
+    line = wire.decode_request_line(ctrl)
+    assert wire.assemble_request_payload(line, aux) == payload

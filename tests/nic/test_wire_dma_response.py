@@ -1,0 +1,51 @@
+"""Unit tests for the DMA-staged response CONTROL line format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nic.lauberhorn import wire
+
+LINE = 128
+
+
+def test_dma_response_roundtrip():
+    ctrl = wire.encode_response_dma(LINE, tag=42, resp_len=9000,
+                                    dma_addr=0xABCD000)
+    line, payload = wire.decode_response(ctrl, [])
+    assert line.is_valid and line.is_dma
+    assert line.tag == 42
+    assert line.resp_len == 9000
+    assert line.dma_addr == 0xABCD000
+    assert payload == b""
+
+
+def test_dma_response_has_no_aux():
+    ctrl = wire.encode_response_dma(LINE, tag=1, resp_len=100, dma_addr=1)
+    line, _ = wire.decode_response(ctrl, [])
+    assert line.n_aux == 0
+
+
+def test_inline_response_not_flagged_dma():
+    ctrl, aux = wire.encode_response(LINE, tag=1, payload=b"small")
+    line, payload = wire.decode_response(ctrl, aux)
+    assert not line.is_dma
+    assert payload == b"small"
+
+
+def test_dma_response_on_cxl_lines():
+    ctrl = wire.encode_response_dma(64, tag=7, resp_len=5000, dma_addr=0x1000)
+    line, _ = wire.decode_response(ctrl, [])
+    assert line.dma_addr == 0x1000
+
+
+@given(
+    st.integers(min_value=0, max_value=2**64 - 1),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=2**64 - 1),
+)
+def test_dma_response_roundtrip_property(tag, resp_len, dma_addr):
+    ctrl = wire.encode_response_dma(LINE, tag=tag, resp_len=resp_len,
+                                    dma_addr=dma_addr)
+    line, _ = wire.decode_response(ctrl, [])
+    assert (line.tag, line.resp_len, line.dma_addr) == (tag, resp_len, dma_addr)

@@ -1,0 +1,92 @@
+"""Tests for NIC-load-driven dispatcher autoscaling (Section 5.2)."""
+
+import pytest
+
+from repro.experiments import build_lauberhorn_testbed
+from repro.nic.lauberhorn import EndpointKind
+from repro.os.nicsched import NicScheduler
+from repro.sim import MS
+from repro.workloads.generator import OpenLoopGenerator, ServiceMix, Target
+
+
+def make_scheduler(bed, n_dispatchers=1):
+    service = bed.registry.create_service("svc", udp_port=9000)
+    method = bed.registry.add_method(
+        service, "m", lambda args: [1], cost_instructions=20_000  # slow
+    )
+    process = bed.kernel.spawn_process("svc")
+    bed.nic.register_service(service, process.pid)
+    scheduler = NicScheduler(
+        bed.kernel, bed.nic, bed.registry, n_dispatchers=n_dispatchers,
+        promote=False,
+    )
+    return scheduler, service, method
+
+
+def test_autoscaler_grows_under_load():
+    bed = build_lauberhorn_testbed()
+    scheduler, service, method = make_scheduler(bed, n_dispatchers=1)
+    scheduler.start_autoscaler(interval_ns=200_000, max_dispatchers=4)
+    generator = OpenLoopGenerator(
+        bed.clients[0], ServiceMix([Target(service, method)]),
+        bed.server_mac, bed.server_ip,
+        rng=bed.machine.rng.stream("load"),
+    )
+    # Offered load ~80k/s of 12us handlers ≈ 1 core's capacity; one
+    # dispatcher queues, so the autoscaler must add more.
+    done = bed.sim.process(generator.run(rate_per_sec=80_000, n_requests=150))
+    bed.machine.run(until=done)
+    assert len(scheduler.dispatchers) > 1
+    assert generator.completed == 150
+
+
+def test_autoscaler_shrinks_when_idle():
+    bed = build_lauberhorn_testbed()
+    scheduler, service, method = make_scheduler(bed, n_dispatchers=3)
+    scheduler.start_autoscaler(
+        interval_ns=200_000, min_dispatchers=1, max_dispatchers=4
+    )
+    bed.machine.run(until=5 * MS)  # no traffic at all
+    assert len(scheduler.dispatchers) == 1
+    assert bed.nic.lstats.retires == 2
+
+
+def test_autoscaler_respects_max():
+    bed = build_lauberhorn_testbed()
+    scheduler, service, method = make_scheduler(bed, n_dispatchers=1)
+    scheduler.start_autoscaler(interval_ns=100_000, max_dispatchers=2)
+    generator = OpenLoopGenerator(
+        bed.clients[0], ServiceMix([Target(service, method)]),
+        bed.server_mac, bed.server_ip,
+        rng=bed.machine.rng.stream("load"),
+    )
+    done = bed.sim.process(generator.run(rate_per_sec=200_000, n_requests=200))
+    bed.machine.run(until=done)
+    assert len(scheduler.dispatchers) <= 2
+
+
+def test_autoscaler_bounds_validation():
+    bed = build_lauberhorn_testbed()
+    scheduler, *_ = make_scheduler(bed)
+    with pytest.raises(ValueError):
+        scheduler.start_autoscaler(min_dispatchers=3, max_dispatchers=2)
+
+
+def test_scale_up_then_down_cycle():
+    bed = build_lauberhorn_testbed()
+    scheduler, service, method = make_scheduler(bed, n_dispatchers=1)
+    scheduler.start_autoscaler(
+        interval_ns=200_000, min_dispatchers=1, max_dispatchers=4
+    )
+    generator = OpenLoopGenerator(
+        bed.clients[0], ServiceMix([Target(service, method)]),
+        bed.server_mac, bed.server_ip,
+        rng=bed.machine.rng.stream("load"),
+    )
+    done = bed.sim.process(generator.run(rate_per_sec=100_000, n_requests=120))
+    bed.machine.run(until=done)
+    grown = len(scheduler.dispatchers)
+    assert grown > 1
+    # Load stops; the scheduler hands cores back.
+    bed.machine.run(until=bed.sim.now + 10 * MS)
+    assert len(scheduler.dispatchers) == 1

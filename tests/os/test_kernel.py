@@ -1,0 +1,313 @@
+"""Integration tests for the kernel: dispatch, blocking, preemption, IRQs."""
+
+import pytest
+
+from repro.hw import ENZIAN, Machine
+from repro.os import Kernel, ops
+from repro.os.kernel import Irq
+from repro.sim import MS, US
+
+
+def make_kernel(n_cores=None, **kw):
+    machine = Machine(ENZIAN)
+    kernel = Kernel(machine, **kw)
+    kernel.start()
+    return machine, kernel
+
+
+def test_thread_runs_and_exits_with_value():
+    machine, kernel = make_kernel()
+    proc = kernel.spawn_process("app")
+
+    def body():
+        yield ops.Exec(1000)
+        return "done"
+
+    thread = kernel.spawn_thread(proc, body())
+    machine.run(until=thread.exit_event)
+    assert thread.exit_value == "done"
+    assert machine.sim.now > 0
+
+
+def test_exec_charges_expected_time():
+    machine, kernel = make_kernel()
+    proc = kernel.spawn_process("app")
+
+    def body():
+        yield ops.Exec(2000)
+
+    thread = kernel.spawn_thread(proc, body())
+    machine.run(until=thread.exit_event)
+    core0 = machine.cores[0]
+    # 2000 instructions plus context-switch cost, all busy time.
+    expected_min = core0.instructions_ns(2000)
+    assert core0.counters.busy_ns >= expected_min
+
+
+def test_context_switch_charged_between_processes():
+    machine, kernel = make_kernel()
+    a = kernel.spawn_process("a")
+    b = kernel.spawn_process("b")
+
+    def body():
+        yield ops.Exec(100)
+
+    # Pin both to core 0 so they serialize.
+    t1 = kernel.spawn_thread(a, body(), pinned_core=0)
+    t2 = kernel.spawn_thread(b, body(), pinned_core=0)
+    machine.run()
+    assert kernel.stats.context_switches >= 2
+
+
+def test_same_process_switch_is_cheap():
+    machine, kernel = make_kernel()
+    a = kernel.spawn_process("a")
+
+    def body():
+        yield ops.Exec(100)
+
+    kernel.spawn_thread(a, body(), pinned_core=0)
+    kernel.spawn_thread(a, body(), pinned_core=0)
+    machine.run()
+    # Only the first dispatch crosses an address space.
+    assert kernel.stats.context_switches == 1
+    assert kernel.stats.thread_switches == 2
+
+
+def test_threads_spread_across_cores():
+    machine, kernel = make_kernel()
+    proc = kernel.spawn_process("app")
+    used = set()
+
+    def body(tag):
+        yield ops.Exec(10_000)
+        used.add(tag)
+
+    threads = [kernel.spawn_thread(proc, body(i)) for i in range(4)]
+    machine.run()
+    assert len(used) == 4
+    # Parallel execution: total time ~ one thread's time, not 4x.
+    single = machine.cores[0].instructions_ns(10_000)
+    assert machine.sim.now < single * 3
+
+
+def test_block_and_wake():
+    machine, kernel = make_kernel()
+    proc = kernel.spawn_process("app")
+    ev = machine.sim.event()
+    got = []
+
+    def body():
+        value = yield ops.Block(ev)
+        got.append((machine.sim.now, value))
+
+    def firer():
+        yield machine.sim.timeout(500_000)
+        ev.succeed("payload")
+
+    kernel.spawn_thread(proc, body())
+    machine.sim.process(firer())
+    machine.run()
+    assert got[0][0] >= 500_000
+    assert got[0][1] == "payload"
+
+
+def test_sleep_op_blocks_thread():
+    machine, kernel = make_kernel()
+    proc = kernel.spawn_process("app")
+    woke = []
+
+    def body():
+        yield ops.Sleep(2 * MS)
+        woke.append(machine.sim.now)
+
+    kernel.spawn_thread(proc, body())
+    machine.run()
+    assert woke[0] >= 2 * MS
+
+
+def test_blocked_thread_releases_core():
+    machine, kernel = make_kernel()
+    proc = kernel.spawn_process("app")
+    ev = machine.sim.event()
+    order = []
+
+    def blocker():
+        yield ops.Block(ev)
+        order.append("blocker")
+
+    def runner():
+        yield ops.Exec(100)
+        order.append("runner")
+        ev.succeed()
+
+    kernel.spawn_thread(proc, blocker(), pinned_core=0)
+    kernel.spawn_thread(proc, runner(), pinned_core=0)
+    machine.run()
+    assert order == ["runner", "blocker"]
+
+
+def test_yield_cpu_round_robins():
+    machine, kernel = make_kernel()
+    proc = kernel.spawn_process("app")
+    order = []
+
+    def body(tag):
+        for _ in range(2):
+            order.append(tag)
+            yield ops.YieldCpu()
+
+    kernel.spawn_thread(proc, body("a"), pinned_core=0)
+    kernel.spawn_thread(proc, body("b"), pinned_core=0)
+    machine.run()
+    assert order == ["a", "b", "a", "b"]
+
+
+def test_timeslice_preemption():
+    machine, kernel = make_kernel(timeslice_ns=1 * MS)
+    proc = kernel.spawn_process("app")
+    finished = []
+
+    def long_body(tag):
+        for _ in range(10):
+            yield ops.Exec(500_000)  # ~0.3ms per chunk at 2GHz/1.2cpi
+        finished.append(tag)
+
+    t1 = kernel.spawn_thread(proc, long_body("a"), pinned_core=0)
+    t2 = kernel.spawn_thread(proc, long_body("b"), pinned_core=0)
+    machine.run()
+    assert kernel.stats.preemptions > 0
+    assert t1.stats.preempted_count + t2.stats.preempted_count > 0
+    assert set(finished) == {"a", "b"}
+
+
+def test_no_preemption_when_alone():
+    machine, kernel = make_kernel(timeslice_ns=1 * MS)
+    proc = kernel.spawn_process("app")
+
+    def body():
+        for _ in range(10):
+            yield ops.Exec(500_000)
+
+    kernel.spawn_thread(proc, body(), pinned_core=0)
+    machine.run()
+    assert kernel.stats.preemptions == 0
+
+
+def test_irq_interrupts_running_thread():
+    machine, kernel = make_kernel()
+    proc = kernel.spawn_process("app")
+    log = []
+
+    def handler(k, core):
+        log.append(("irq", machine.sim.now))
+        return
+        yield
+
+    def body():
+        for _ in range(100):
+            yield ops.Exec(1000)
+
+    kernel.spawn_thread(proc, body(), pinned_core=0)
+
+    def inject():
+        yield machine.sim.timeout(100_000)
+        kernel.deliver_irq(0, Irq(name="test", handler=handler))
+
+    machine.sim.process(inject())
+    machine.run()
+    assert log and log[0][1] >= 100_000
+    assert kernel.stats.irqs == 1
+
+
+def test_irq_wakes_idle_core():
+    machine, kernel = make_kernel()
+    log = []
+
+    def handler(k, core):
+        log.append(machine.sim.now)
+        return
+        yield
+
+    def inject():
+        yield machine.sim.timeout(50_000)
+        kernel.deliver_irq(5, Irq(name="test", handler=handler))
+
+    machine.sim.process(inject())
+    machine.run(until=1 * MS)
+    assert log and log[0] >= 50_000
+
+
+def test_ipi_sets_need_resched_and_preempts():
+    machine, kernel = make_kernel(timeslice_ns=100 * MS)  # no tick preemption
+    proc = kernel.spawn_process("app")
+    progress = []
+
+    def hog():
+        for i in range(1000):
+            progress.append(i)
+            yield ops.Exec(10_000)
+
+    def waiter():
+        yield ops.Exec(100)
+        progress.append("waiter-ran")
+
+    kernel.spawn_thread(proc, hog(), pinned_core=0)
+
+    def later():
+        yield machine.sim.timeout(200_000)
+        kernel.spawn_thread(proc, waiter(), pinned_core=0)
+        kernel.preempt_core(0)
+
+    machine.sim.process(later())
+    machine.run(until=50 * MS)
+    index = progress.index("waiter-ran")
+    assert 0 < index < 1000  # preempted the hog mid-way
+    assert kernel.stats.ipis == 1
+
+
+def test_exception_in_thread_body_propagates():
+    machine, kernel = make_kernel()
+    proc = kernel.spawn_process("app")
+
+    def body():
+        yield ops.Exec(10)
+        raise ValueError("app bug")
+
+    kernel.spawn_thread(proc, body())
+    with pytest.raises(ValueError):
+        machine.run()
+
+
+def test_call_op_runs_inline_generator():
+    machine, kernel = make_kernel()
+    proc = kernel.spawn_process("app")
+    got = []
+
+    def library(core, thread):
+        yield from core.execute(500)
+        return "lib-result"
+
+    def body():
+        result = yield ops.Call(library)
+        got.append(result)
+
+    kernel.spawn_thread(proc, body())
+    machine.run()
+    assert got == ["lib-result"]
+
+
+def test_mmio_ops_charge_core():
+    machine, kernel = make_kernel()
+    proc = kernel.spawn_process("app")
+    landed = []
+
+    def body():
+        yield ops.MmioRead()
+        yield ops.MmioWrite(on_device=lambda: landed.append(machine.sim.now))
+
+    kernel.spawn_thread(proc, body())
+    machine.run()
+    assert machine.link.stats.mmio_reads == 1
+    assert machine.link.stats.mmio_writes == 1
+    assert landed  # the posted write eventually became device-visible

@@ -1,0 +1,182 @@
+"""Unit/integration tests for NIC-driven scheduling helpers."""
+
+import pytest
+
+from repro.experiments import build_lauberhorn_testbed
+from repro.nic.lauberhorn import EndpointKind
+from repro.os.nicsched import (
+    NicScheduler,
+    lauberhorn_nested_call,
+    lauberhorn_user_loop,
+)
+from repro.sim import MS
+
+
+def make_service(bed, name="svc", port=9000, cost=500, handler=None):
+    service = bed.registry.create_service(name, udp_port=port)
+    method = bed.registry.add_method(
+        service, "m", handler or (lambda args: list(args)),
+        cost_instructions=cost,
+    )
+    process = bed.kernel.spawn_process(name)
+    bed.nic.register_service(service, process.pid)
+    return service, method, process
+
+
+def test_user_loop_exits_on_retire():
+    bed = build_lauberhorn_testbed()
+    service, method, process = make_service(bed)
+    ep = bed.nic.create_endpoint(EndpointKind.USER, service=service)
+    thread = bed.kernel.spawn_thread(
+        process, lauberhorn_user_loop(bed.nic, ep, bed.registry),
+        pinned_core=0,
+    )
+    bed.machine.run(until=1 * MS)
+    assert ep.armed
+    bed.nic.retire(ep)
+    bed.machine.run(until=2 * MS)
+    assert thread.exit_event.triggered
+    assert thread.exit_value == 0  # served nothing
+
+
+def test_user_loop_serves_then_exits_after_max():
+    bed = build_lauberhorn_testbed(tryagain_timeout_ns=1 * MS)
+    service, method, process = make_service(bed)
+    ep = bed.nic.create_endpoint(EndpointKind.USER, service=service)
+    thread = bed.kernel.spawn_thread(
+        process,
+        lauberhorn_user_loop(bed.nic, ep, bed.registry, max_requests=3),
+        pinned_core=0,
+    )
+    client = bed.clients[0]
+
+    def driver():
+        yield bed.sim.timeout(10_000)
+        for i in range(3):
+            yield from client.call(args=[i], **bed.call_args(service, method))
+
+    bed.sim.process(driver())
+    bed.machine.run(until=20 * MS)
+    assert thread.exit_event.triggered
+    assert thread.exit_value == 3
+
+
+def test_user_loop_yield_on_tryagain_mode():
+    bed = build_lauberhorn_testbed(tryagain_timeout_ns=1 * MS)
+    service, method, process = make_service(bed)
+    ep = bed.nic.create_endpoint(EndpointKind.USER, service=service)
+    thread = bed.kernel.spawn_thread(
+        process,
+        lauberhorn_user_loop(bed.nic, ep, bed.registry,
+                             yield_on_tryagain=True),
+        pinned_core=0,
+    )
+    bed.machine.run(until=5 * MS)
+    assert thread.stats.voluntary_yields >= 2
+
+
+def test_nic_scheduler_spawns_armed_dispatchers():
+    bed = build_lauberhorn_testbed()
+    sched = NicScheduler(bed.kernel, bed.nic, bed.registry, n_dispatchers=3)
+    bed.machine.run(until=1 * MS)
+    assert len(sched.dispatchers) == 3
+    assert all(h.endpoint.armed for h in sched.dispatchers)
+    assert bed.nic.preempt_on_backlog  # enabled by the scheduler
+
+
+def test_nic_scheduler_add_and_retire():
+    bed = build_lauberhorn_testbed()
+    sched = NicScheduler(bed.kernel, bed.nic, bed.registry, n_dispatchers=1)
+    bed.machine.run(until=1 * MS)
+    sched.add_dispatcher(pinned_core=5)
+    bed.machine.run(until=2 * MS)
+    assert len(sched.dispatchers) == 2
+    assert sched.retire_dispatcher()
+    bed.machine.run(until=3 * MS)
+    assert len(sched.dispatchers) == 1
+
+
+def test_service_report_reflects_traffic():
+    bed = build_lauberhorn_testbed()
+    service, method, process = make_service(bed)
+    ep = bed.nic.create_endpoint(EndpointKind.USER, service=service)
+    bed.kernel.spawn_thread(
+        process, lauberhorn_user_loop(bed.nic, ep, bed.registry),
+        pinned_core=0,
+    )
+    sched = NicScheduler(bed.kernel, bed.nic, bed.registry, n_dispatchers=1)
+    client = bed.clients[0]
+
+    def driver():
+        yield bed.sim.timeout(10_000)
+        for i in range(4):
+            yield from client.call(args=[i], **bed.call_args(service, method))
+
+    bed.sim.process(driver())
+    bed.machine.run(until=50 * MS)
+    report = {load.service_id: load for load in sched.service_report()}
+    svc = report[service.service_id]
+    assert svc.arrivals == 4
+    assert svc.completed == 4
+    assert svc.delivered_fast == 4
+
+
+def test_nested_call_roundtrip():
+    bed = build_lauberhorn_testbed()
+    svc_b, m_b, proc_b = make_service(bed, name="b", port=9001)
+    ep_b = bed.nic.create_endpoint(EndpointKind.USER, service=svc_b)
+    bed.kernel.spawn_thread(
+        proc_b, lauberhorn_user_loop(bed.nic, ep_b, bed.registry),
+        pinned_core=1,
+    )
+    bed.nic.create_continuation_pool(2)
+    results = []
+
+    def caller_body():
+        out = yield from lauberhorn_nested_call(
+            bed.nic, 9001, svc_b.service_id, m_b.method_id, ["ping"]
+        )
+        results.append(out)
+
+    proc_a = bed.kernel.spawn_process("caller")
+    bed.kernel.spawn_thread(proc_a, caller_body(), pinned_core=0)
+    bed.machine.run(until=50 * MS)
+    assert results == [["ping"]]
+    # The continuation endpoint went back to the pool.
+    assert len(bed.nic._continuation_pool) == 2
+    assert not bed.nic._continuations
+
+
+def test_continuation_pool_exhaustion():
+    bed = build_lauberhorn_testbed()
+    bed.nic.create_continuation_pool(1)
+    bed.nic.acquire_continuation()
+    with pytest.raises(RuntimeError):
+        bed.nic.acquire_continuation()
+
+
+def test_continuation_reply_queued_if_not_armed():
+    """A reply arriving before the caller's load parks is backlogged on
+    the continuation endpoint and delivered by the eventual load."""
+    bed = build_lauberhorn_testbed()
+    svc_b, m_b, proc_b = make_service(bed, name="b", port=9001, cost=100)
+    ep_b = bed.nic.create_endpoint(EndpointKind.USER, service=svc_b)
+    bed.kernel.spawn_thread(
+        proc_b, lauberhorn_user_loop(bed.nic, ep_b, bed.registry),
+        pinned_core=1,
+    )
+    bed.nic.create_continuation_pool(1)
+    results = []
+
+    def caller_body():
+        from repro.os import ops
+
+        out = yield from lauberhorn_nested_call(
+            bed.nic, 9001, svc_b.service_id, m_b.method_id, ["x"]
+        )
+        results.append(out)
+
+    proc_a = bed.kernel.spawn_process("caller")
+    bed.kernel.spawn_thread(proc_a, caller_body(), pinned_core=0)
+    bed.machine.run(until=50 * MS)
+    assert results == [["x"]]

@@ -1,0 +1,110 @@
+"""Unit tests for run-queue placement and stealing."""
+
+import pytest
+
+from repro.os.process import OsProcess, OsThread, ThreadState
+from repro.os.scheduler import Scheduler
+
+
+def make_thread(tid, pinned=None, priority=0):
+    proc = OsProcess(pid=tid, name=f"p{tid}")
+
+    def body():
+        yield None
+
+    return OsThread(tid=tid, process=proc, body=body(), pinned_core=pinned,
+                    priority=priority)
+
+
+def test_enqueue_prefers_idle_core():
+    sched = Scheduler(4)
+    sched.idle_cores.update({2, 3})
+    t = make_thread(1)
+    core = sched.enqueue(t)
+    assert core == 2
+    assert t.state is ThreadState.READY
+
+
+def test_enqueue_respects_pinning():
+    sched = Scheduler(4)
+    sched.idle_cores.add(0)
+    t = make_thread(1, pinned=3)
+    assert sched.enqueue(t) == 3
+
+
+def test_enqueue_least_loaded_when_no_idle():
+    sched = Scheduler(2)
+    for tid in range(3):
+        sched.enqueue(make_thread(tid))
+    # 3 threads over 2 cores: queue lengths 2 and 1 or balanced
+    assert sched.total_queued() == 3
+    assert abs(sched.queue_length(0) - sched.queue_length(1)) <= 1
+
+
+def test_wake_prefers_previous_core_when_idle():
+    sched = Scheduler(4)
+    t = make_thread(1)
+    sched.enqueue(t, core_id=2)
+    assert sched.pick_next(2) is t
+    sched.idle_cores.update({0, 2})
+    # Previous core 2 is idle: go back there, not core 0.
+    assert sched.enqueue(t) == 2
+
+
+def test_pick_next_fifo():
+    sched = Scheduler(1)
+    a, b = make_thread(1), make_thread(2)
+    sched.enqueue(a)
+    sched.enqueue(b)
+    assert sched.pick_next(0) is a
+    assert sched.pick_next(0) is b
+    assert sched.pick_next(0) is None
+
+
+def test_priority_ordering():
+    sched = Scheduler(1)
+    normal = make_thread(1, priority=0)
+    urgent = make_thread(2, priority=-1)
+    sched.enqueue(normal)
+    sched.enqueue(urgent)
+    assert sched.pick_next(0) is urgent
+
+
+def test_stealing_takes_unpinned_from_loaded_core():
+    sched = Scheduler(2, steal=True)
+    a, b = make_thread(1), make_thread(2)
+    sched.enqueue(a, core_id=0)
+    sched.enqueue(b, core_id=0)
+    stolen = sched.pick_next(1)
+    assert stolen is b  # steals from the tail
+
+
+def test_stealing_skips_pinned():
+    sched = Scheduler(2, steal=True)
+    t = make_thread(1, pinned=0)
+    sched.enqueue(t, core_id=0)
+    assert sched.pick_next(1) is None
+    assert sched.pick_next(0) is t
+
+
+def test_no_stealing_when_disabled():
+    sched = Scheduler(2, steal=False)
+    sched.enqueue(make_thread(1), core_id=0)
+    assert sched.pick_next(1) is None
+
+
+def test_remove_queued_thread():
+    sched = Scheduler(1)
+    t = make_thread(1)
+    sched.enqueue(t)
+    assert sched.remove(t)
+    assert not sched.remove(t)
+    assert sched.pick_next(0) is None
+
+
+def test_enqueue_done_thread_rejected():
+    sched = Scheduler(1)
+    t = make_thread(1)
+    t.state = ThreadState.DONE
+    with pytest.raises(ValueError):
+        sched.enqueue(t)

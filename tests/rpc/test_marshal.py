@@ -1,0 +1,102 @@
+"""Unit + property tests for argument marshalling and its cost model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rpc import (
+    MarshalError,
+    count_fields,
+    marshal_args,
+    software_marshal_instructions,
+    software_unmarshal_instructions,
+    unmarshal_args,
+)
+
+
+def test_roundtrip_scalars():
+    args = [1, -5, 3.5, "hello", b"\x00\x01", True, False, None]
+    assert unmarshal_args(marshal_args(args)) == args
+
+
+def test_roundtrip_nested_list():
+    args = [[1, 2, [3, "x"]], b"tail"]
+    assert unmarshal_args(marshal_args(args)) == [[1, 2, [3, "x"]], b"tail"]
+
+
+def test_roundtrip_empty():
+    assert unmarshal_args(marshal_args([])) == []
+
+
+def test_bool_not_confused_with_int():
+    out = unmarshal_args(marshal_args([True, 1]))
+    assert out[0] is True and out[1] == 1 and not isinstance(out[1], bool)
+
+
+def test_unsupported_type_rejected():
+    with pytest.raises(MarshalError):
+        marshal_args([{"a": 1}])
+
+
+def test_empty_payload_rejected():
+    with pytest.raises(MarshalError):
+        unmarshal_args(b"")
+
+
+def test_truncated_payload_rejected():
+    raw = marshal_args([12345678])
+    with pytest.raises(MarshalError):
+        unmarshal_args(raw[:-2])
+
+
+def test_trailing_garbage_rejected():
+    raw = marshal_args([1])
+    with pytest.raises(MarshalError):
+        unmarshal_args(raw + b"\x00")
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(MarshalError):
+        unmarshal_args(bytes([1, 200]))
+
+
+def test_count_fields_flattens_lists():
+    assert count_fields([1, "a", [2, 3, [4]]]) == 5
+    assert count_fields([]) == 0
+
+
+def test_unicode_strings():
+    args = ["héllo wörld ☃"]
+    assert unmarshal_args(marshal_args(args)) == args
+
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=50),
+    st.binary(max_size=50),
+)
+args_strategy = st.lists(
+    st.one_of(scalars, st.lists(scalars, max_size=5)), max_size=8
+)
+
+
+@given(args_strategy)
+def test_roundtrip_property(args):
+    assert unmarshal_args(marshal_args(args)) == args
+
+
+def test_cost_model_monotone_in_bytes_and_fields():
+    assert software_unmarshal_instructions(1, 64) < software_unmarshal_instructions(1, 6400)
+    assert software_unmarshal_instructions(1, 64) < software_unmarshal_instructions(10, 64)
+    assert software_marshal_instructions(2, 100) < software_unmarshal_instructions(2, 100)
+
+
+def test_cost_model_small_message_regime():
+    # A small RPC (3 fields, 64B) should cost a few hundred instructions,
+    # i.e. O(100ns) on a GHz-class core — the regime the accelerator
+    # papers report.
+    cost = software_unmarshal_instructions(3, 64)
+    assert 200 < cost < 2000

@@ -1,0 +1,71 @@
+"""Unit + property tests for the RPC wire format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rpc import RpcError, RpcHeader, RpcMessage, RpcType
+
+
+def test_header_roundtrip():
+    hdr = RpcHeader(RpcType.REQUEST, 7, 3, 0xDEADBEEF, 100)
+    assert RpcHeader.unpack(hdr.pack()) == hdr
+    assert len(hdr.pack()) == RpcHeader.SIZE == 24
+
+
+def test_header_bad_magic():
+    raw = bytearray(RpcHeader(RpcType.REQUEST, 1, 1, 1, 0).pack())
+    raw[0] = 0x00
+    with pytest.raises(RpcError):
+        RpcHeader.unpack(bytes(raw))
+
+
+def test_header_bad_type():
+    raw = bytearray(RpcHeader(RpcType.REQUEST, 1, 1, 1, 0).pack())
+    raw[3] = 99
+    with pytest.raises(RpcError):
+        RpcHeader.unpack(bytes(raw))
+
+
+def test_header_truncated():
+    with pytest.raises(RpcError):
+        RpcHeader.unpack(b"\x00" * 10)
+
+
+def test_message_roundtrip():
+    msg = RpcMessage.request(5, 2, 42, b"args-bytes")
+    out = RpcMessage.unpack(msg.pack())
+    assert out == msg
+    assert out.header.rpc_type is RpcType.REQUEST
+
+
+def test_response_constructor():
+    msg = RpcMessage.response(5, 2, 42, b"result")
+    assert msg.header.rpc_type is RpcType.RESPONSE
+    assert msg.header.payload_len == 6
+
+
+def test_message_payload_length_mismatch():
+    msg = RpcMessage(RpcHeader(RpcType.REQUEST, 1, 1, 1, 99), b"short")
+    with pytest.raises(RpcError):
+        msg.pack()
+
+
+def test_message_truncated_payload():
+    msg = RpcMessage.request(1, 1, 1, b"0123456789")
+    with pytest.raises(RpcError):
+        RpcMessage.unpack(msg.pack()[:-3])
+
+
+@given(
+    st.sampled_from(list(RpcType)),
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=0xFFFF),
+    st.integers(min_value=0, max_value=2**64 - 1),
+    st.binary(max_size=256),
+)
+def test_message_roundtrip_property(rpc_type, service, method, req_id, payload):
+    msg = RpcMessage(
+        RpcHeader(rpc_type, service, method, req_id, len(payload)), payload
+    )
+    assert RpcMessage.unpack(msg.pack()) == msg

@@ -1,0 +1,87 @@
+"""Unit tests for the service registry."""
+
+import pytest
+
+from repro.rpc import ServiceError, ServiceRegistry
+
+
+def echo(args):
+    return list(args)
+
+
+def test_create_service_assigns_ids_and_pointers():
+    reg = ServiceRegistry()
+    a = reg.create_service("a", udp_port=9000)
+    b = reg.create_service("b", udp_port=9001)
+    assert a.service_id != b.service_id
+    assert a.data_ptr != b.data_ptr
+    assert len(reg) == 2
+
+
+def test_port_collision_rejected():
+    reg = ServiceRegistry()
+    reg.create_service("a", udp_port=9000)
+    with pytest.raises(ValueError):
+        reg.create_service("b", udp_port=9000)
+
+
+def test_add_method_and_resolve():
+    reg = ServiceRegistry()
+    svc = reg.create_service("kv", udp_port=9000)
+    get = reg.add_method(svc, "get", echo, cost_instructions=500)
+    put = reg.add_method(svc, "put", echo, cost_instructions=800)
+    assert get.method_id != put.method_id
+    assert get.code_ptr != put.code_ptr
+    s, m = reg.resolve(svc.service_id, get.method_id)
+    assert s is svc and m is get
+
+
+def test_method_id_collision_rejected():
+    reg = ServiceRegistry()
+    svc = reg.create_service("kv", udp_port=9000)
+    reg.add_method(svc, "get", echo, method_id=1)
+    with pytest.raises(ValueError):
+        reg.add_method(svc, "put", echo, method_id=1)
+
+
+def test_lookup_by_port():
+    reg = ServiceRegistry()
+    svc = reg.create_service("kv", udp_port=9000)
+    assert reg.by_port(9000) is svc
+    with pytest.raises(ServiceError):
+        reg.by_port(9999)
+
+
+def test_unknown_service_and_method():
+    reg = ServiceRegistry()
+    svc = reg.create_service("kv", udp_port=9000)
+    with pytest.raises(ServiceError):
+        reg.by_id(999)
+    with pytest.raises(ServiceError):
+        svc.method(42)
+
+
+def test_cost_model_constant_and_callable():
+    reg = ServiceRegistry()
+    svc = reg.create_service("kv", udp_port=9000)
+    const = reg.add_method(svc, "a", echo, cost_instructions=700)
+    scaled = reg.add_method(
+        svc, "b", echo, cost_instructions=lambda args: 100 * len(args)
+    )
+    assert const.cost_for([1, 2, 3]) == 700
+    assert scaled.cost_for([1, 2, 3]) == 300
+
+
+def test_handler_executes():
+    reg = ServiceRegistry()
+    svc = reg.create_service("math", udp_port=9000)
+    add = reg.add_method(svc, "add", lambda args: [sum(args)])
+    assert add.handler([1, 2, 3]) == [6]
+
+
+def test_registry_iteration():
+    reg = ServiceRegistry()
+    names = {"a", "b", "c"}
+    for i, name in enumerate(sorted(names)):
+        reg.create_service(name, udp_port=9000 + i)
+    assert {svc.name for svc in reg} == names

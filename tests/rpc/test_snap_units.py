@@ -1,0 +1,70 @@
+"""Unit tests for the Snap stack's channel plumbing."""
+
+import pytest
+
+from repro.rpc.snap import SnapChannel, SnapEngine
+from repro.rpc.server import UserNetContext
+from repro.rpc.service import ServiceRegistry
+from repro.net.headers import MacAddress
+from repro.sim import Simulator
+
+
+def make_engine():
+    sim = Simulator()
+    netctx = UserNetContext(ip=1, mac=MacAddress(2), arp={})
+    return sim, SnapEngine(sim, ServiceRegistry(), netctx)
+
+
+def test_channel_push_then_pop():
+    sim = Simulator()
+    channel = SnapChannel(sim)
+    channel.push("a")
+    channel.push("b")
+    first = channel.pop_event()
+    second = channel.pop_event()
+    assert first.triggered and first._value == "a"
+    assert second.triggered and second._value == "b"
+    assert channel.enqueued == 2
+
+
+def test_channel_pop_blocks_until_push():
+    sim = Simulator()
+    channel = SnapChannel(sim)
+    event = channel.pop_event()
+    assert not event.triggered
+    channel.push("late")
+    assert event.triggered and event._value == "late"
+
+
+def test_channel_waiters_fifo():
+    sim = Simulator()
+    channel = SnapChannel(sim)
+    first = channel.pop_event()
+    second = channel.pop_event()
+    channel.push(1)
+    channel.push(2)
+    assert first._value == 1 and second._value == 2
+
+
+def test_engine_channel_per_service():
+    _sim, engine = make_engine()
+    a = engine.channel_for(1)
+    b = engine.channel_for(2)
+    assert a is not b
+    assert engine.channel_for(1) is a
+
+
+def test_engine_response_queue_wakes_gate():
+    sim, engine = make_engine()
+    woke = []
+
+    def waiter():
+        yield engine.wake_gate.wait()
+        woke.append(sim.now)
+
+    sim.process(waiter())
+    sim.run(until=10)
+    engine.push_response("frame")
+    sim.run(until=20)
+    assert woke
+    assert engine.response_frames == ["frame"]

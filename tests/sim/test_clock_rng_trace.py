@@ -1,0 +1,120 @@
+"""Unit tests for clock conversions, RNG streams, and the tracer."""
+
+import pytest
+
+from repro.sim import GHZ, MS, SEC, US, Frequency, RngRegistry, Simulator, Tracer
+from repro.sim.clock import bytes_time_ns
+
+
+def test_unit_constants():
+    assert US == 1000
+    assert MS == 1_000_000
+    assert SEC == 1_000_000_000
+
+
+def test_frequency_cycle_conversion_roundtrip():
+    f = GHZ(2.0)
+    assert f.cycles_to_ns(2000) == pytest.approx(1000)
+    assert f.ns_to_cycles(1000) == pytest.approx(2000)
+    assert f.ns_to_cycles(f.cycles_to_ns(12345)) == pytest.approx(12345)
+
+
+def test_frequency_ghz_property():
+    assert GHZ(3.5).ghz == pytest.approx(3.5)
+
+
+def test_frequency_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        Frequency(0)
+
+
+def test_bytes_time_ns():
+    # 100 Gb/s = 12.5 GB/s -> 1250 bytes take 100ns
+    assert bytes_time_ns(1250, 12.5e9) == pytest.approx(100)
+    with pytest.raises(ValueError):
+        bytes_time_ns(10, 0)
+
+
+def test_rng_streams_deterministic():
+    a = RngRegistry(seed=7).stream("nic").random()
+    b = RngRegistry(seed=7).stream("nic").random()
+    assert a == b
+
+
+def test_rng_streams_independent_by_name():
+    reg = RngRegistry(seed=7)
+    xs = [reg.stream("a").random() for _ in range(5)]
+    reg2 = RngRegistry(seed=7)
+    reg2.stream("b").random()  # consuming another stream must not matter
+    ys = [reg2.stream("a").random() for _ in range(5)]
+    assert xs == ys
+
+
+def test_rng_different_seeds_differ():
+    a = RngRegistry(seed=1).stream("s").random()
+    b = RngRegistry(seed=2).stream("s").random()
+    assert a != b
+
+
+def test_rng_fork_independent():
+    reg = RngRegistry(seed=3)
+    child = reg.fork("trial-1")
+    assert child.stream("s").random() != reg.stream("s").random()
+    # Fork is deterministic too.
+    again = RngRegistry(seed=3).fork("trial-1")
+    assert again.stream("s").random() == RngRegistry(seed=3).fork("trial-1").stream("s").random()
+
+
+def test_tracer_emit_and_query():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.emit("nic", "rx", size=64)
+    sim.run(until=10)
+    tracer.emit("nic", "tx", size=128)
+    tracer.emit("os", "sched")
+    assert len(list(tracer.query(category="nic"))) == 2
+    assert len(list(tracer.query(category="nic", label="rx"))) == 1
+    rx = next(tracer.query(label="rx"))
+    assert rx["size"] == 64 and rx.time_ns == 0
+
+
+def test_tracer_field_filter():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.emit("x", "y", core=1)
+    tracer.emit("x", "y", core=2)
+    assert len(list(tracer.query(core=2))) == 1
+
+
+def test_tracer_disabled_drops_records():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=False)
+    tracer.emit("a", "b")
+    assert tracer.records == []
+
+
+def test_tracer_span_duration():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    done = []
+
+    def proc():
+        span = tracer.span("stage", "demux", pkt=1)
+        yield sim.timeout(42)
+        done.append(span.close())
+
+    sim.process(proc())
+    sim.run()
+    assert done == [42]
+    record = next(tracer.query(label="demux"))
+    assert record["duration_ns"] == 42 and record["pkt"] == 1
+
+
+def test_tracer_subscribe():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    seen = []
+    tracer.subscribe(lambda r: seen.append(r.label))
+    tracer.emit("c", "one")
+    tracer.emit("c", "two")
+    assert seen == ["one", "two"]

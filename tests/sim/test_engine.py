@@ -1,0 +1,325 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield sim.timeout(100)
+        fired.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert fired == [100]
+
+
+def test_timeouts_fire_in_order():
+    sim = Simulator()
+    order = []
+
+    def proc(delay, tag):
+        yield sim.timeout(delay)
+        order.append(tag)
+
+    sim.process(proc(30, "c"))
+    sim.process(proc(10, "a"))
+    sim.process(proc(20, "b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fifo():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(5)
+        order.append(tag)
+
+    for tag in ("x", "y", "z"):
+        sim.process(proc(tag))
+    sim.run()
+    assert order == ["x", "y", "z"]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1)
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1)
+        return 42
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == 42
+
+
+def test_run_until_timestamp_stops_clock():
+    sim = Simulator()
+
+    def proc():
+        while True:
+            yield sim.timeout(10)
+
+    sim.process(proc())
+    sim.run(until=55)
+    assert sim.now == 55
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+    sim.run(until=10)
+    with pytest.raises(ValueError):
+        sim.run(until=5)
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append(value)
+
+    def firer():
+        yield sim.timeout(7)
+        ev.succeed("payload")
+
+    sim.process(waiter())
+    sim.process(firer())
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.process(waiter())
+    ev.fail(RuntimeError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_event_failure_surfaces():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(RuntimeError("nobody listening"))
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_process_crash_propagates_to_waiter():
+    sim = Simulator()
+    caught = []
+
+    def crasher():
+        yield sim.timeout(1)
+        raise ValueError("dead")
+
+    def parent():
+        try:
+            yield sim.process(crasher())
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(parent())
+    sim.run()
+    assert caught == ["dead"]
+
+
+def test_interrupt_delivery_and_cause():
+    sim = Simulator()
+    seen = []
+
+    def victim():
+        try:
+            yield sim.timeout(1000)
+        except Interrupt as intr:
+            seen.append((sim.now, intr.cause))
+
+    def attacker(target):
+        yield sim.timeout(40)
+        target.interrupt("ipi")
+
+    v = sim.process(victim())
+    sim.process(attacker(v))
+    sim.run()
+    assert seen == [(40, "ipi")]
+
+
+def test_interrupt_dead_process_rejected():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1)
+
+    p = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    sim = Simulator()
+    log = []
+
+    def victim():
+        try:
+            yield sim.timeout(1000)
+        except Interrupt:
+            log.append("interrupted")
+        yield sim.timeout(10)
+        log.append(sim.now)
+
+    def attacker(target):
+        yield sim.timeout(5)
+        target.interrupt()
+
+    v = sim.process(victim())
+    sim.process(attacker(v))
+    sim.run()
+    assert log == ["interrupted", 15]
+
+
+def test_anyof_fires_on_first():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        t1 = sim.timeout(10, value="fast")
+        t2 = sim.timeout(20, value="slow")
+        got = yield AnyOf(sim, [t1, t2])
+        results.append((sim.now, list(got.values())))
+
+    sim.process(proc())
+    sim.run()
+    assert results == [(10, ["fast"])]
+
+
+def test_allof_waits_for_all():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        t1 = sim.timeout(10, value=1)
+        t2 = sim.timeout(25, value=2)
+        got = yield AllOf(sim, [t1, t2])
+        results.append((sim.now, sorted(got.values())))
+
+    sim.process(proc())
+    sim.run()
+    assert results == [(25, [1, 2])]
+
+
+def test_allof_empty_fires_immediately():
+    sim = Simulator()
+    done = []
+
+    def proc():
+        yield AllOf(sim, [])
+        done.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert done == [0.0]
+
+
+def test_yield_non_event_is_error():
+    sim = Simulator()
+
+    def proc():
+        yield 42
+
+    sim.process(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_until_event_value():
+    sim = Simulator()
+    ev = sim.event()
+
+    def firer():
+        yield sim.timeout(3)
+        ev.succeed("done")
+
+    sim.process(firer())
+    assert sim.run(until=ev) == "done"
+    assert sim.now == 3
+
+
+def test_run_until_event_starves_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        sim.run(until=ev)
+
+
+def test_zero_delay_chain_runs_at_same_time():
+    sim = Simulator()
+    stamps = []
+
+    def proc():
+        for _ in range(5):
+            yield sim.timeout(0)
+            stamps.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert stamps == [0.0] * 5
+
+
+def test_nested_processes():
+    sim = Simulator()
+
+    def child(n):
+        yield sim.timeout(n)
+        return n * 2
+
+    def parent():
+        a = yield sim.process(child(5))
+        b = yield sim.process(child(7))
+        return a + b
+
+    p = sim.process(parent())
+    assert sim.run(until=p) == 24
+    assert sim.now == 12

@@ -1,0 +1,128 @@
+"""Additional edge-case coverage for the simulation engine."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, SimulationError, Simulator
+
+
+def test_anyof_propagates_failure():
+    sim = Simulator()
+    good = sim.timeout(100)
+    bad = sim.event()
+    caught = []
+
+    def proc():
+        try:
+            yield AnyOf(sim, [good, bad])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.process(proc())
+    bad.fail(RuntimeError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_allof_propagates_failure():
+    sim = Simulator()
+    caught = []
+
+    def proc():
+        try:
+            yield AllOf(sim, [sim.timeout(100), _failing(sim, 50)])
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(proc())
+    sim.run()
+    assert caught == ["late fail"]
+
+
+def _failing(sim, delay):
+    event = sim.event()
+
+    def failer():
+        yield sim.timeout(delay)
+        event.fail(ValueError("late fail"))
+
+    sim.process(failer())
+    return event
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        value = yield sim.timeout(5, value="ding")
+        got.append(value)
+
+    sim.process(proc())
+    sim.run()
+    assert got == ["ding"]
+
+
+def test_event_value_access_rules():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+    with pytest.raises(SimulationError):
+        _ = event.ok
+    event.fail(RuntimeError("x"))
+    assert event.ok is False
+    with pytest.raises(SimulationError):
+        _ = event.value
+    # Drain the queue; the failure is defused by our inspection.
+    event._defused = True
+    sim.run()
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")
+
+
+def test_add_callback_after_processed_runs_immediately():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed("v")
+    sim.run()
+    got = []
+    event.add_callback(lambda ev: got.append(ev._value))
+    assert got == ["v"]
+
+
+def test_peek_and_step_directly():
+    sim = Simulator()
+    sim.timeout(30)
+    sim.timeout(10)
+    assert sim.peek() == 10
+    sim.step()
+    assert sim.now == 10
+    assert sim.peek() == 30
+
+
+def test_cross_simulator_wait_rejected():
+    sim_a, sim_b = Simulator(), Simulator()
+    foreign = sim_b.event()
+
+    def proc():
+        yield foreign
+
+    sim_a.process(proc())
+    foreign.succeed()
+    with pytest.raises(SimulationError):
+        sim_a.run()
+        sim_b.run()
+
+
+def test_priority_store_blocking_put_rejected():
+    from repro.sim import PriorityStore
+
+    sim = Simulator()
+    store = PriorityStore(sim, capacity=1)
+    store.put("a")
+    with pytest.raises(SimulationError):
+        store.put("b")

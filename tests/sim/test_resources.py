@@ -1,0 +1,196 @@
+"""Unit tests for Store, PriorityStore, Resource, and Gate."""
+
+import pytest
+
+from repro.sim import Gate, PriorityStore, Resource, Simulator, Store
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    def producer():
+        yield sim.timeout(50)
+        yield store.put("x")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [(50, "x")]
+
+
+def test_store_capacity_blocks_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put("a")
+        log.append(("a-accepted", sim.now))
+        yield store.put("b")
+        log.append(("b-accepted", sim.now))
+
+    def consumer():
+        yield sim.timeout(30)
+        item = yield store.get()
+        log.append((item, sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert ("a-accepted", 0.0) in log
+    assert ("b-accepted", 30.0) in log
+
+
+def test_store_try_put_drop_when_full():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    assert store.try_put(1)
+    assert store.try_put(2)
+    assert not store.try_put(3)
+    assert len(store) == 2
+
+
+def test_store_try_get():
+    sim = Simulator()
+    store = Store(sim)
+    ok, item = store.try_get()
+    assert not ok and item is None
+    store.try_put("z")
+    ok, item = store.try_get()
+    assert ok and item == "z"
+
+
+def test_store_bad_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+def test_priority_store_orders_by_priority():
+    sim = Simulator()
+    ps = PriorityStore(sim)
+    got = []
+
+    def run():
+        ps.put("low", priority=10)
+        ps.put("high", priority=0)
+        ps.put("mid", priority=5)
+        for _ in range(3):
+            item = yield ps.get()
+            got.append(item)
+
+    sim.process(run())
+    sim.run()
+    assert got == ["high", "mid", "low"]
+
+
+def test_priority_store_fifo_within_priority():
+    sim = Simulator()
+    ps = PriorityStore(sim)
+    ps.put("first", priority=1)
+    ps.put("second", priority=1)
+    ok, a = ps.try_get()
+    ok2, b = ps.try_get()
+    assert (a, b) == ("first", "second")
+
+
+def test_resource_mutual_exclusion():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    timeline = []
+
+    def worker(tag):
+        yield res.acquire()
+        timeline.append((tag, "in", sim.now))
+        yield sim.timeout(10)
+        timeline.append((tag, "out", sim.now))
+        res.release()
+
+    sim.process(worker("a"))
+    sim.process(worker("b"))
+    sim.run()
+    assert timeline == [
+        ("a", "in", 0.0),
+        ("a", "out", 10.0),
+        ("b", "in", 10.0),
+        ("b", "out", 20.0),
+    ]
+
+
+def test_resource_capacity_two_admits_pair():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    entered = []
+
+    def worker(tag):
+        yield res.acquire()
+        entered.append((tag, sim.now))
+        yield sim.timeout(10)
+        res.release()
+
+    for tag in ("a", "b", "c"):
+        sim.process(worker(tag))
+    sim.run()
+    assert entered == [("a", 0.0), ("b", 0.0), ("c", 10.0)]
+
+
+def test_resource_release_idle_rejected():
+    sim = Simulator()
+    res = Resource(sim)
+    from repro.sim import SimulationError
+
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_gate_broadcasts_to_all_waiters():
+    sim = Simulator()
+    gate = Gate(sim)
+    woke = []
+
+    def waiter(tag):
+        value = yield gate.wait()
+        woke.append((tag, value, sim.now))
+
+    def opener():
+        yield sim.timeout(5)
+        released = gate.open("go")
+        assert released == 2
+
+    sim.process(waiter("a"))
+    sim.process(waiter("b"))
+    sim.process(opener())
+    sim.run()
+    assert sorted(woke) == [("a", "go", 5.0), ("b", "go", 5.0)]
+
+
+def test_gate_open_with_no_waiters():
+    sim = Simulator()
+    gate = Gate(sim)
+    assert gate.open() == 0

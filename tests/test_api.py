@@ -1,0 +1,120 @@
+"""Tests for the high-level SimulatedCluster facade."""
+
+import pytest
+
+from repro.api import ClusterError, SimulatedCluster
+
+
+def make_kv(stack, **kw):
+    cluster = SimulatedCluster(stack=stack, **kw)
+    store = {}
+
+    @cluster.service("kv", port=9000, cost=600)
+    def put(args):
+        store[args[0]] = args[1]
+        return ["ok"]
+
+    @cluster.service("kv")
+    def get(args):
+        return [store.get(args[0], "missing")]
+
+    return cluster, store
+
+
+@pytest.mark.parametrize("stack", ["lauberhorn", "linux", "bypass"])
+def test_kv_roundtrip_each_stack(stack):
+    cluster, store = make_kv(stack)
+    cluster.start()
+    result = cluster.call("kv", "put", ["k", "v"])
+    assert result.results == ["ok"]
+    result = cluster.call("kv", "get", ["k"])
+    assert result.results == ["v"]
+    assert store == {"k": "v"}
+    assert result.rtt_ns > 0
+
+
+def test_multiple_services():
+    cluster = SimulatedCluster(stack="lauberhorn")
+
+    @cluster.service("a", port=9000, cost=300)
+    def ping(args):
+        return ["a"]
+
+    @cluster.service("b", port=9001, cost=300)
+    def pong(args):
+        return ["b"]
+
+    cluster.start()
+    assert cluster.call("a", "ping", []).results == ["a"]
+    assert cluster.call("b", "pong", []).results == ["b"]
+
+
+def test_dedicated_core_uses_fast_path_immediately():
+    cluster = SimulatedCluster(stack="lauberhorn")
+
+    @cluster.service("hot", port=9000, dedicated_core=0, cost=300)
+    def work(args):
+        return list(args)
+
+    cluster.start()
+    cluster.run(0.1)  # let the loop arm
+    result = cluster.call("hot", "work", [1])
+    assert result.results == [1]
+    assert cluster.stats.delivered_fast == 1
+    assert cluster.stats.delivered_kernel == 0
+
+
+def test_undedicated_service_served_by_dispatchers():
+    cluster = SimulatedCluster(stack="lauberhorn", n_dispatchers=1)
+
+    @cluster.service("cold", port=9000, cost=300)
+    def work(args):
+        return list(args)
+
+    cluster.start()
+    cluster.run(0.5)
+    result = cluster.call("cold", "work", [2])
+    assert result.results == [2]
+    assert cluster.stats.delivered_kernel >= 1
+
+
+def test_errors():
+    with pytest.raises(ClusterError):
+        SimulatedCluster(stack="nonsense")
+
+    cluster = SimulatedCluster()
+    with pytest.raises(ClusterError):
+        cluster.start()  # no services
+
+    @cluster.service("s", port=9000)
+    def m(args):
+        return []
+
+    with pytest.raises(ClusterError):
+        cluster.call("s", "m", [])  # not started
+    cluster.start()
+    with pytest.raises(ClusterError):
+        cluster.call("nope", "m", [])
+    with pytest.raises(ClusterError):
+        cluster.call("s", "nope", [])
+    with pytest.raises(ClusterError):
+        cluster.service("late", port=9005)(lambda a: a)
+
+
+def test_register_after_start_rejected_and_start_idempotent():
+    cluster = SimulatedCluster()
+
+    @cluster.service("s", port=9000)
+    def m(args):
+        return ["x"]
+
+    cluster.start()
+    cluster.start()  # idempotent
+    assert cluster.call("s", "m", []).results == ["x"]
+
+
+def test_busy_ns_accumulates():
+    cluster, _ = make_kv("lauberhorn")
+    cluster.start()
+    cluster.call("kv", "put", ["a", 1])
+    assert cluster.busy_ns() > 0

@@ -1,0 +1,111 @@
+"""Unit + property tests for workload distributions and schedules."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rpc.marshal import marshal_args
+from repro.workloads import (
+    CLOUD_RPC_SIZES,
+    BimodalServiceTime,
+    BurstSchedule,
+    ExponentialServiceTime,
+    FixedServiceTime,
+    HotSetSchedule,
+    RpcSizeDistribution,
+    args_for_payload,
+)
+
+
+@given(st.integers(min_value=6, max_value=5000))
+def test_args_for_payload_exact(nbytes):
+    assert len(marshal_args(args_for_payload(nbytes))) == nbytes
+
+
+def test_args_for_payload_too_small():
+    with pytest.raises(ValueError):
+        args_for_payload(3)
+
+
+def test_cloud_sizes_mostly_small():
+    rng = random.Random(1)
+    samples = [CLOUD_RPC_SIZES.sample(rng) for _ in range(5000)]
+    small = sum(1 for s in samples if s <= 512)
+    assert small / len(samples) > 0.7  # the paper's premise
+    assert max(samples) > 16384  # but a real tail exists
+
+
+def test_size_distribution_bounds_respected():
+    rng = random.Random(2)
+    dist = RpcSizeDistribution(buckets=((1.0, 100, 200),))
+    for _ in range(200):
+        assert 100 <= dist.sample(rng) <= 200
+
+
+def test_size_distribution_validation():
+    with pytest.raises(ValueError):
+        RpcSizeDistribution(buckets=((0.5, 10, 20),))  # weights != 1
+    with pytest.raises(ValueError):
+        RpcSizeDistribution(buckets=((1.0, 2, 20),))  # below marshal min
+
+
+def test_fixed_service_time():
+    assert FixedServiceTime(123).sample(random.Random(0)) == 123
+
+
+def test_exponential_service_time_mean():
+    rng = random.Random(3)
+    dist = ExponentialServiceTime(mean_instructions=2000)
+    mean = sum(dist.sample(rng) for _ in range(20_000)) / 20_000
+    assert mean == pytest.approx(2000, rel=0.05)
+
+
+def test_bimodal_service_time():
+    rng = random.Random(4)
+    dist = BimodalServiceTime(short_instructions=100, long_instructions=10_000,
+                              long_fraction=0.1)
+    samples = [dist.sample(rng) for _ in range(5000)]
+    longs = sum(1 for s in samples if s == 10_000)
+    assert 0.05 < longs / len(samples) < 0.15
+    assert set(samples) == {100, 10_000}
+
+
+def test_hot_set_schedule_stable_within_epoch():
+    sched = HotSetSchedule(n_services=16, hot_count=4, period_ns=1e6, seed=7)
+    assert sched.hot_set_at(0) == sched.hot_set_at(999_999)
+    assert len(sched.hot_set_at(0)) == 4
+
+
+def test_hot_set_schedule_changes_across_epochs():
+    sched = HotSetSchedule(n_services=32, hot_count=4, period_ns=1e6, seed=7)
+    sets = {sched.hot_set_at(i * 1e6) for i in range(10)}
+    assert len(sets) > 1
+
+
+def test_hot_set_epochs_cover_duration():
+    sched = HotSetSchedule(n_services=8, hot_count=2, period_ns=1e6)
+    epochs = list(sched.epochs(3.5e6))
+    assert len(epochs) == 4
+    assert epochs[0][0] == 0.0 and epochs[-1][0] == 3e6
+
+
+def test_hot_set_validation():
+    with pytest.raises(ValueError):
+        HotSetSchedule(n_services=4, hot_count=5, period_ns=1e6)
+    with pytest.raises(ValueError):
+        HotSetSchedule(n_services=4, hot_count=1, period_ns=0)
+
+
+def test_burst_schedule():
+    sched = BurstSchedule(burst_service=0, interval_ns=1e6, burst_ns=2e5)
+    assert sched.in_burst(0)
+    assert sched.in_burst(1.9e5)
+    assert not sched.in_burst(5e5)
+    assert sched.in_burst(1.1e6)
+
+
+def test_burst_schedule_validation():
+    with pytest.raises(ValueError):
+        BurstSchedule(0, interval_ns=1e5, burst_ns=2e5)

@@ -1,0 +1,105 @@
+"""Integration tests for open/closed-loop generators over a testbed."""
+
+import pytest
+
+from repro.experiments import build_lauberhorn_testbed
+from repro.nic.lauberhorn import EndpointKind
+from repro.os.nicsched import lauberhorn_user_loop
+from repro.sim import MS
+from repro.workloads import (
+    ClosedLoopGenerator,
+    OpenLoopGenerator,
+    ServiceMix,
+    Target,
+)
+
+
+def lauberhorn_echo(bed, port=9000, name="echo", core=0):
+    service = bed.registry.create_service(name, udp_port=port)
+    method = bed.registry.add_method(
+        service, "echo", lambda args: list(args), cost_instructions=500
+    )
+    process = bed.kernel.spawn_process(f"{name}-server")
+    bed.nic.register_service(service, process.pid)
+    ep = bed.nic.create_endpoint(EndpointKind.USER, service=service)
+    bed.kernel.spawn_thread(
+        process,
+        lauberhorn_user_loop(bed.nic, ep, bed.registry),
+        name=f"{name}-loop",
+        pinned_core=core,
+    )
+    return Target(service=service, method=method)
+
+
+def test_open_loop_completes_all():
+    bed = build_lauberhorn_testbed()
+    target = lauberhorn_echo(bed)
+    gen = OpenLoopGenerator(
+        bed.clients[0],
+        ServiceMix([target]),
+        bed.server_mac,
+        bed.server_ip,
+        rng=bed.machine.rng.stream("gen"),
+    )
+    proc = bed.sim.process(gen.run(rate_per_sec=50_000, n_requests=50))
+    bed.machine.run(until=proc)
+    assert gen.completed == 50
+    assert len(gen.recorder) == 50
+    summary = gen.recorder.summary()
+    assert summary.p50 > 0
+
+
+def test_closed_loop_completes_all():
+    bed = build_lauberhorn_testbed()
+    target = lauberhorn_echo(bed)
+    gen = ClosedLoopGenerator(
+        bed.clients[0],
+        ServiceMix([target]),
+        bed.server_mac,
+        bed.server_ip,
+        rng=bed.machine.rng.stream("gen"),
+    )
+    proc = bed.sim.process(gen.run(concurrency=4, n_requests=40))
+    bed.machine.run(until=proc)
+    assert gen.completed == 40
+    assert gen.sent == 40
+
+
+def test_mix_splits_traffic_between_services():
+    bed = build_lauberhorn_testbed()
+    t1 = lauberhorn_echo(bed, port=9000, name="a", core=0)
+    t2 = lauberhorn_echo(bed, port=9001, name="b", core=1)
+    mix = ServiceMix([t1, t2], weights=[1.0, 1.0])
+    gen = ClosedLoopGenerator(
+        bed.clients[0], mix, bed.server_mac, bed.server_ip,
+        rng=bed.machine.rng.stream("gen"),
+    )
+    proc = bed.sim.process(gen.run(concurrency=2, n_requests=40))
+    bed.machine.run(until=proc)
+    a = bed.nic.load.service(t1.service.service_id).arrivals
+    b = bed.nic.load.service(t2.service.service_id).arrivals
+    assert a + b == 40
+    assert a > 5 and b > 5
+
+
+def test_hot_set_weights():
+    bed = build_lauberhorn_testbed()
+    t1 = lauberhorn_echo(bed, port=9000, name="a", core=0)
+    t2 = lauberhorn_echo(bed, port=9001, name="b", core=1)
+    mix = ServiceMix([t1, t2])
+    mix.set_hot_set([1])
+    rng = bed.machine.rng.stream("pick")
+    assert all(mix.choose(rng) is t2 for _ in range(20))
+    with pytest.raises(ValueError):
+        mix.set_hot_set([])
+
+
+def test_generator_validation():
+    bed = build_lauberhorn_testbed()
+    target = lauberhorn_echo(bed)
+    gen = OpenLoopGenerator(
+        bed.clients[0], ServiceMix([target]), bed.server_mac, bed.server_ip,
+        rng=bed.machine.rng.stream("gen"),
+    )
+    with pytest.raises(ValueError):
+        bed.machine.run(until=bed.sim.process(gen.run(rate_per_sec=0, n_requests=1)))

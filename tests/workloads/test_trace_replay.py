@@ -1,0 +1,86 @@
+"""Tests for synthetic trace generation and replay."""
+
+import random
+
+import pytest
+
+from repro.experiments import build_lauberhorn_testbed
+from repro.nic.lauberhorn import EndpointKind
+from repro.os.nicsched import NicScheduler
+from repro.sim import MS, SEC
+from repro.workloads.generator import Target
+from repro.workloads.trace_replay import TraceReplayer, generate_trace
+
+
+def test_trace_rate_approximately_honoured():
+    trace = generate_trace(
+        n_targets=4, duration_ns=0.1 * SEC, mean_rate_per_sec=10_000, seed=1,
+        burst_factor=1.0,  # no bursts: pure Poisson
+    )
+    # ~1000 arrivals expected.
+    assert 800 < len(trace) < 1200
+    times = [e.time_ns for e in trace]
+    assert times == sorted(times)
+    assert times[-1] < 0.1 * SEC
+
+
+def test_trace_popularity_skewed():
+    trace = generate_trace(
+        n_targets=16, duration_ns=0.05 * SEC, mean_rate_per_sec=50_000, seed=2
+    )
+    counts = {}
+    for entry in trace:
+        counts[entry.target_index] = counts.get(entry.target_index, 0) + 1
+    ordered = sorted(counts.values(), reverse=True)
+    # Zipf: the hottest service dominates the coldest by a wide margin.
+    assert ordered[0] > 5 * ordered[-1]
+
+
+def test_trace_bursts_increase_local_rate():
+    calm = generate_trace(4, 0.1 * SEC, 10_000, seed=3, burst_factor=1.0)
+    bursty = generate_trace(4, 0.1 * SEC, 10_000, seed=3, burst_factor=8.0,
+                            burst_fraction=0.2)
+    assert len(bursty) > len(calm) * 1.2
+
+
+def test_trace_deterministic():
+    a = generate_trace(4, 0.01 * SEC, 10_000, seed=9)
+    b = generate_trace(4, 0.01 * SEC, 10_000, seed=9)
+    assert a == b
+    c = generate_trace(4, 0.01 * SEC, 10_000, seed=10)
+    assert a != c
+
+
+def test_trace_validation():
+    with pytest.raises(ValueError):
+        generate_trace(0, 1e6, 1000)
+    with pytest.raises(ValueError):
+        generate_trace(1, 0, 1000)
+
+
+def test_replay_against_lauberhorn():
+    bed = build_lauberhorn_testbed()
+    targets = []
+    for index in range(3):
+        service = bed.registry.create_service(f"s{index}", udp_port=9000 + index)
+        method = bed.registry.add_method(service, "m", lambda a: list(a),
+                                         cost_instructions=400)
+        process = bed.kernel.spawn_process(f"s{index}")
+        bed.nic.register_service(service, process.pid)
+        bed.nic.create_endpoint(EndpointKind.USER, service=service)
+        targets.append(Target(service, method))
+    NicScheduler(bed.kernel, bed.nic, bed.registry, n_dispatchers=2,
+                 promote=True)
+
+    trace = generate_trace(
+        n_targets=3, duration_ns=5 * MS, mean_rate_per_sec=20_000, seed=4
+    )
+    replayer = TraceReplayer(
+        bed.clients[0], targets, bed.server_mac, bed.server_ip
+    )
+    done = bed.sim.process(replayer.run(trace, random.Random(0)))
+    bed.machine.run(until=done)
+    assert replayer.completed == len(trace) == replayer.sent
+    assert replayer.recorder.summary().p50 > 0
+    # All three services saw traffic.
+    assert len(replayer.per_target) == 3
