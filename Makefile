@@ -1,0 +1,22 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-fast bench-engine run-all
+
+test:
+	$(PYTHON) -m pytest -q
+
+test-fast:
+	$(PYTHON) -m pytest -q -x
+
+# Engine microbenchmarks; writes BENCH_engine.json at the repo root so
+# successive PRs can track the events/sec trajectory.
+bench-engine:
+	$(PYTHON) benchmarks/bench_engine.py --out BENCH_engine.json
+
+# CI-sized smoke run of the same benchmarks (seconds, not minutes).
+bench-engine-quick:
+	$(PYTHON) benchmarks/bench_engine.py --quick
+
+run-all:
+	$(PYTHON) -m repro.experiments.run_all

@@ -1,0 +1,210 @@
+"""Microbenchmarks for the discrete-event engine hot path.
+
+The engine in :mod:`repro.sim.engine` is the substrate every experiment
+runs on, so its events/sec throughput bounds how much simulated load,
+how many seeds, and how many scenarios the reproduction can explore.
+This script measures the three patterns that dominate real experiment
+profiles:
+
+* **timer_churn** — thousands of interleaved processes each sleeping on
+  fresh :class:`Timeout` objects (the NIC/OS pipeline-stage pattern);
+  exercises heap push/pop throughput.
+* **zero_delay_chain** — long chains of ``yield sim.timeout(0)`` (the
+  wake-up-chain pattern used for same-instant hand-offs); exercises the
+  same-timestamp fast path.
+* **anyof_fanin** — repeated ``AnyOf`` over a fan-in of timers (the
+  quantum/poll pattern in the kernel-bypass and SNAP models).
+* **cancel_churn** — retry loops that arm a guard timer and cancel it
+  (the Tryagain pattern); only runs on engines with ``Timeout.cancel``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py            # full run
+    PYTHONPATH=src python benchmarks/bench_engine.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_engine.py --out BENCH_engine.json
+
+Each benchmark reports events/sec (scheduled engine events divided by
+wall-clock time, best of ``--repeat`` runs).  ``--out`` writes a JSON
+report so successive PRs can track the trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.sim import AnyOf, Simulator
+from repro.sim.engine import Timeout
+
+try:  # profiling hooks shipped with the hot-path overhaul
+    from repro.sim.profile import attach_profile
+except ImportError:  # pragma: no cover - pre-overhaul engine
+    attach_profile = None
+
+HAS_CANCEL = hasattr(Timeout, "cancel")
+
+
+# -- workloads ---------------------------------------------------------------
+
+
+def _run_timer_churn(n_procs: int, n_timers: int) -> tuple[Simulator, int]:
+    """Interleaved timers with co-prime delays: pure heap churn."""
+    sim = Simulator()
+
+    def sleeper(delay):
+        for _ in range(n_timers):
+            yield sim.timeout(delay)
+
+    # Co-prime-ish delays keep timestamps mostly distinct, so nearly
+    # every event is a genuine heap reorder rather than a same-time pop.
+    for i in range(n_procs):
+        sim.process(sleeper(7 + (i * 13) % 97))
+    sim.run()
+    return sim, n_procs * n_timers
+
+
+def _run_zero_delay_chain(n_procs: int, chain_len: int) -> tuple[Simulator, int]:
+    """Same-instant wake-up chains: the urgent/zero-delay fast path."""
+    sim = Simulator()
+
+    def chain():
+        for _ in range(chain_len):
+            yield sim.timeout(0)
+
+    for _ in range(n_procs):
+        sim.process(chain())
+    sim.run()
+    return sim, n_procs * chain_len
+
+
+def _run_anyof_fanin(n_rounds: int, fan_in: int) -> tuple[Simulator, int]:
+    """Repeated AnyOf over a timer fan-in (quantum/poll pattern)."""
+    sim = Simulator()
+
+    def poller():
+        for round_no in range(n_rounds):
+            timers = [
+                sim.timeout(10 + ((round_no + k) * 7) % 31, value=k)
+                for k in range(fan_in)
+            ]
+            yield AnyOf(sim, timers)
+
+    sim.process(poller())
+    sim.run()
+    return sim, n_rounds * fan_in
+
+
+def _run_cancel_churn(n_procs: int, n_rounds: int) -> tuple[Simulator, int]:
+    """Arm a long guard timer, win the race, cancel it (Tryagain)."""
+    sim = Simulator()
+
+    def retrier():
+        for _ in range(n_rounds):
+            guard = sim.timeout(1_000_000)  # would fire far in the future
+            yield sim.timeout(5)
+            guard.cancel()
+
+    for _ in range(n_procs):
+        sim.process(retrier())
+    sim.run()
+    return sim, n_procs * n_rounds * 2
+
+
+BENCHMARKS = {
+    "timer_churn": {
+        "runner": _run_timer_churn,
+        "full": (2_000, 200),
+        "quick": (200, 50),
+    },
+    "zero_delay_chain": {
+        "runner": _run_zero_delay_chain,
+        "full": (500, 800),
+        "quick": (50, 100),
+    },
+    "anyof_fanin": {
+        "runner": _run_anyof_fanin,
+        "full": (4_000, 16),
+        "quick": (200, 8),
+    },
+    "cancel_churn": {
+        "runner": _run_cancel_churn,
+        "full": (1_000, 200),
+        "quick": (100, 40),
+        "requires_cancel": True,
+    },
+}
+
+
+# -- harness -----------------------------------------------------------------
+
+
+def run_benchmark(name: str, quick: bool = False, repeat: int = 3) -> dict:
+    """Run one benchmark; returns a JSON-ready result dict."""
+    spec = BENCHMARKS[name]
+    args = spec["quick" if quick else "full"]
+    best_elapsed = float("inf")
+    events = 0
+    profile_report = None
+    for _ in range(repeat):
+        started = time.perf_counter()
+        sim, events = spec["runner"](*args)
+        elapsed = time.perf_counter() - started
+        if elapsed < best_elapsed:
+            best_elapsed = elapsed
+            if attach_profile is not None:
+                # Counters live on the simulator; a post-run attach sees
+                # the whole run, including heap high-water marks.
+                profile_report = attach_profile(sim).report()
+    result = {
+        "events": events,
+        "seconds": round(best_elapsed, 6),
+        "events_per_sec": round(events / best_elapsed),
+        "args": list(args),
+    }
+    if profile_report is not None:
+        result["profile"] = profile_report
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="take the best of N runs (default 3)")
+    parser.add_argument("--out", default=None,
+                        help="write a JSON report to this path")
+    parser.add_argument("names", nargs="*", choices=[[], *BENCHMARKS],
+                        help="subset of benchmarks to run")
+    opts = parser.parse_args(argv)
+    if opts.repeat < 1:
+        parser.error("--repeat must be >= 1")
+
+    selected = opts.names or list(BENCHMARKS)
+    report = {
+        "engine": "repro.sim.engine",
+        "mode": "quick" if opts.quick else "full",
+        "has_cancel": HAS_CANCEL,
+        "benchmarks": {},
+    }
+    print(f"{'benchmark':<20} {'events':>10} {'seconds':>9} {'events/sec':>12}")
+    for name in selected:
+        if BENCHMARKS[name].get("requires_cancel") and not HAS_CANCEL:
+            print(f"{name:<20} {'skipped (no Timeout.cancel)':>33}")
+            continue
+        result = run_benchmark(name, quick=opts.quick, repeat=opts.repeat)
+        report["benchmarks"][name] = result
+        print(f"{name:<20} {result['events']:>10} {result['seconds']:>9.4f} "
+              f"{result['events_per_sec']:>12}")
+    if opts.out:
+        with open(opts.out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {opts.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -95,6 +95,11 @@ def bootstrap_ci(
         for _ in range(n_resamples)
     )
     alpha = (1 - confidence) / 2
+    # Symmetric tails: floor the lower index, use a ceil-based upper
+    # index so both sides exclude the same number of resamples.  A
+    # floored upper index (int((1 - alpha) * n)) drops one fewer
+    # estimate from the top tail than the bottom, biasing the interval.
     low = estimates[int(alpha * n_resamples)]
-    high = estimates[min(n_resamples - 1, int((1 - alpha) * n_resamples))]
+    high = estimates[min(n_resamples - 1,
+                         math.ceil((1 - alpha) * n_resamples) - 1)]
     return point, low, high

@@ -134,9 +134,11 @@ class BypassNic(BaseNic):
             quantum_ns = 1_000_000.0
             while not queue.ring:
                 segment_start = self.sim.now
-                yield AnyOf(
-                    self.sim, [queue.gate.wait(), self.sim.timeout(quantum_ns)]
-                )
+                quantum = self.sim.timeout(quantum_ns)
+                yield AnyOf(self.sim, [queue.gate.wait(), quantum])
+                # If the gate won the race, drop the guard timer from
+                # the heap instead of letting it fire into the void.
+                quantum.cancel()
                 waited = self.sim.now - segment_start
                 if waited > 0:
                     # The worker was spinning the whole time: busy, not idle.
@@ -178,7 +180,9 @@ class BypassNic(BaseNic):
                     break
                 segment_start = self.sim.now
                 waits = [q.gate.wait() for q in queue_list]
-                yield AnyOf(self.sim, waits + [self.sim.timeout(quantum_ns)])
+                quantum = self.sim.timeout(quantum_ns)
+                yield AnyOf(self.sim, waits + [quantum])
+                quantum.cancel()  # no-op if the quantum itself fired
                 waited = self.sim.now - segment_start
                 if waited > 0:
                     core.counters.busy_ns += waited

@@ -66,9 +66,13 @@ class Scheduler:
             core_id = self.choose_core(thread)
         thread.state = ThreadState.READY
         queue = self._queues[core_id]
-        # Priority 0 is normal; lower numbers run sooner.  Insert before
-        # the first lower-priority (higher number) entry.
-        if thread.priority == 0 or not queue:
+        # Priority 0 is normal; lower numbers run sooner.  FIFO within a
+        # priority level: insert before the first lower-priority (higher
+        # number) entry.  The tail check keeps the all-equal-priority
+        # case O(1) without special-casing priority 0 — appending a
+        # priority-0 thread unconditionally would land it behind any
+        # lower-priority (> 0) work already queued.
+        if not queue or queue[-1].priority <= thread.priority:
             queue.append(thread)
         else:
             for index, queued in enumerate(queue):
@@ -93,8 +97,16 @@ class Scheduler:
         return thread
 
     def _steal_for(self, core_id: int) -> Optional[OsThread]:
-        victim = max(range(self.n_cores), key=lambda c: len(self._queues[c]))
+        # Never pick the requesting core as its own victim, and leave a
+        # victim with a single queued thread alone — taking its only
+        # work just moves the imbalance instead of fixing it.
+        others = [c for c in range(self.n_cores) if c != core_id]
+        if not others:
+            return None
+        victim = max(others, key=lambda c: len(self._queues[c]))
         queue = self._queues[victim]
+        if len(queue) < 2:
+            return None
         # Steal only unpinned work, from the tail (coldest).
         for index in range(len(queue) - 1, -1, -1):
             candidate = queue[index]

@@ -129,8 +129,10 @@ def _engine_poll_op(nic, queue_list, engine: SnapEngine):
             segment_start = nic.sim.now
             waits = [q.gate.wait() for q in queue_list]
             waits.append(engine.wake_gate.wait())
-            waits.append(nic.sim.timeout(quantum_ns))
+            quantum = nic.sim.timeout(quantum_ns)
+            waits.append(quantum)
             yield AnyOf(nic.sim, waits)
+            quantum.cancel()  # no-op if the quantum itself fired
             waited = nic.sim.now - segment_start
             if waited > 0:
                 core.counters.busy_ns += waited

@@ -11,6 +11,7 @@ from .engine import (
     Simulator,
     Timeout,
 )
+from .profile import EngineProfile, ProfileSnapshot, attach_profile
 from .resources import Gate, PriorityStore, Resource, Store
 from .rng import RngRegistry
 from .trace import SpanTimer, TraceRecord, Tracer
@@ -18,10 +19,12 @@ from .trace import SpanTimer, TraceRecord, Tracer
 __all__ = [
     "AllOf",
     "AnyOf",
+    "EngineProfile",
     "Event",
     "Frequency",
     "GHZ",
     "Gate",
+    "ProfileSnapshot",
     "Interrupt",
     "MS",
     "NS",
@@ -38,5 +41,6 @@ __all__ = [
     "TraceRecord",
     "Tracer",
     "US",
+    "attach_profile",
     "bytes_time_ns",
 ]

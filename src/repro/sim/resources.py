@@ -26,6 +26,8 @@ __all__ = ["Store", "PriorityStore", "Resource", "Gate"]
 class Store:
     """A FIFO channel of items between simulation processes."""
 
+    __slots__ = ("sim", "capacity", "name", "items", "_getters", "_putters")
+
     def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = ""):
         if capacity is not None and capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -99,6 +101,8 @@ class PriorityStore(Store):
     Items are pushed as ``put(item, priority=k)``; lower ``k`` first.
     """
 
+    __slots__ = ("_heap", "_seq")
+
     def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = ""):
         super().__init__(sim, capacity, name)
         self._heap: list[tuple[Any, int, Any]] = []
@@ -142,6 +146,8 @@ class PriorityStore(Store):
 class Resource:
     """A counted semaphore with FIFO admission."""
 
+    __slots__ = ("sim", "capacity", "name", "in_use", "_waiters")
+
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -181,6 +187,8 @@ class Gate:
     outstanding waits.  Unlike Store, a single ``open`` releases every
     waiter at once.
     """
+
+    __slots__ = ("sim", "name", "_waiters")
 
     def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim

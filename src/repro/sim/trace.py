@@ -4,6 +4,13 @@ Components emit trace records (``tracer.emit(category, label, **fields)``)
 that experiments later query to attribute latency to pipeline stages —
 this is how the per-step breakdown of the paper's Section 2 receive path
 is measured rather than asserted.
+
+Tracing sits on simulation hot paths, so the disabled state must cost
+as close to nothing as possible: a disabled tracer rebinds ``emit`` to
+a module-level no-op (no record, no dict, no attribute test) and is
+*falsy*, so call sites holding an optional tracer can guard with a bare
+``if tracer:`` and skip building span objects or keyword arguments
+entirely.
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ from .engine import Simulator
 __all__ = ["TraceRecord", "Tracer", "SpanTimer"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """A single trace point."""
 
@@ -29,18 +36,39 @@ class TraceRecord:
         return self.fields[key]
 
 
+def _emit_disabled(category: str, label: str, **fields: Any) -> None:
+    """The disabled-tracer fast path: drop everything, allocate nothing."""
+
+
 class Tracer:
     """Collects :class:`TraceRecord` objects during a simulation run."""
 
     def __init__(self, sim: Simulator, enabled: bool = True):
         self.sim = sim
-        self.enabled = enabled
         self.records: list[TraceRecord] = []
         self._subscribers: list[Callable[[TraceRecord], None]] = []
+        self.enabled = enabled
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        # Swap the bound ``emit`` so the disabled path pays no per-call
+        # flag test and builds no TraceRecord.
+        self._enabled = bool(value)
+        if self._enabled:
+            self.__dict__.pop("emit", None)
+        else:
+            self.emit = _emit_disabled
+
+    def __bool__(self) -> bool:
+        """A disabled tracer is falsy: ``if tracer:`` guards both the
+        None case and the disabled case at call sites."""
+        return self._enabled
 
     def emit(self, category: str, label: str, **fields: Any) -> None:
-        if not self.enabled:
-            return
         record = TraceRecord(self.sim.now, category, label, fields)
         self.records.append(record)
         for fn in self._subscribers:
@@ -75,6 +103,8 @@ class Tracer:
 
 class SpanTimer:
     """Measures a begin/end interval and emits one record at close."""
+
+    __slots__ = ("tracer", "category", "label", "fields", "start_ns")
 
     def __init__(self, tracer: Tracer, category: str, label: str, fields: dict):
         self.tracer = tracer

@@ -1,5 +1,7 @@
 """Unit tests for the small-sample statistics helpers."""
 
+import itertools
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -63,6 +65,37 @@ def test_bootstrap_deterministic_and_bracketing():
     point2, low2, high2 = bootstrap_ci(samples, mean, seed=7)
     assert (point, low, high) == (point2, low2, high2)
     assert low <= point <= high
+
+
+def test_bootstrap_percentile_indices_symmetric():
+    """Regression: the upper percentile index must drop as many
+    resamples from the top tail as the lower drops from the bottom.
+
+    A counting statistic makes the sorted estimates a known sequence:
+    the first call (point estimate) returns 0, the 2000 resamples
+    return 1..2000, so the pinned bounds expose the exact indices.
+    """
+    counter = itertools.count()
+
+    def stat(_resample):
+        return float(next(counter))
+
+    point, low, high = bootstrap_ci([1.0, 2.0], stat, n_resamples=2000)
+    assert point == 0.0
+    assert low == 51.0  # estimates[50]: 50 estimates dropped below
+    assert high == 1950.0  # estimates[1949]: 50 dropped above, not 49
+
+
+def test_bootstrap_indices_symmetric_small_n():
+    counter = itertools.count()
+
+    def stat(_resample):
+        return float(next(counter))
+
+    _, low, high = bootstrap_ci([1.0], stat, n_resamples=40)
+    # One estimate dropped from each tail (floored index would drop
+    # none from the top and return 40.0).
+    assert (low, high) == (2.0, 39.0)
 
 
 def test_bootstrap_validation():

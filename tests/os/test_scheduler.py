@@ -102,6 +102,51 @@ def test_remove_queued_thread():
     assert sched.pick_next(0) is None
 
 
+def test_priority_zero_runs_before_background_work():
+    """Regression: a priority-0 thread enqueued behind background
+    (priority > 0) work must run first, not be appended after it."""
+    sched = Scheduler(1)
+    background = make_thread(1, priority=5)
+    normal = make_thread(2, priority=0)
+    sched.enqueue(background)
+    sched.enqueue(normal)
+    assert sched.pick_next(0) is normal
+    assert sched.pick_next(0) is background
+
+
+def test_priority_fifo_within_level():
+    sched = Scheduler(1)
+    bg = make_thread(1, priority=3)
+    a = make_thread(2, priority=0)
+    b = make_thread(3, priority=0)
+    sched.enqueue(bg)
+    sched.enqueue(a)
+    sched.enqueue(b)
+    assert sched.pick_next(0) is a
+    assert sched.pick_next(0) is b
+    assert sched.pick_next(0) is bg
+
+
+def test_steal_leaves_single_queued_thread():
+    """Regression: stealing a victim's only queued thread just moves
+    the imbalance; the victim must keep it."""
+    sched = Scheduler(2, steal=True)
+    only = make_thread(1)
+    sched.enqueue(only, core_id=0)
+    assert sched.pick_next(1) is None
+    assert sched.pick_next(0) is only
+
+
+def test_steal_never_targets_requesting_core():
+    """Regression: the requester must not pick itself as victim."""
+    sched = Scheduler(1, steal=True)
+    sched.enqueue(make_thread(1), core_id=0)
+    sched.enqueue(make_thread(2), core_id=0)
+    # The only "victim" is the requester itself: no steal.
+    assert sched._steal_for(0) is None
+    assert sched.queue_length(0) == 2
+
+
 def test_enqueue_done_thread_rejected():
     sched = Scheduler(1)
     t = make_thread(1)

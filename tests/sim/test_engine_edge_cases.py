@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AllOf, AnyOf, Event, SimulationError, Simulator
+from repro.sim import AllOf, AnyOf, Event, Interrupt, SimulationError, Simulator
 
 
 def test_anyof_propagates_failure():
@@ -116,6 +116,121 @@ def test_cross_simulator_wait_rejected():
     with pytest.raises(SimulationError):
         sim_a.run()
         sim_b.run()
+
+
+def test_interrupt_during_zero_delay_chain():
+    """An interrupt delivered mid wake-up chain lands at the next
+    yield even though the chain never advances the clock (the urgent
+    FIFO must outrank queued zero-delay timers)."""
+    sim = Simulator()
+    hops = []
+    caught = []
+
+    def chain():
+        try:
+            for i in range(10):
+                hops.append(i)
+                yield sim.timeout(0)
+        except Interrupt as intr:
+            caught.append(intr.cause)
+
+    target = sim.process(chain())
+
+    def interrupter():
+        yield sim.timeout(0)
+        target.interrupt("stop")
+
+    sim.process(interrupter())
+    sim.run()
+    assert caught == ["stop"]
+    assert sim.now == 0
+    assert 0 < len(hops) < 10  # the chain was cut short mid-flight
+
+
+def test_cancelled_timeout_never_fires():
+    sim = Simulator()
+    fired = []
+    guard = sim.timeout(100)
+    guard.add_callback(fired.append)
+
+    def canceller():
+        yield sim.timeout(10)
+        assert guard.cancel() is True
+        yield sim.timeout(500)
+
+    sim.process(canceller())
+    sim.run()
+    assert fired == []
+    assert guard.cancelled
+    assert not guard.triggered
+    assert sim.now == 510  # the dead timer did not hold the clock
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    timer = sim.timeout(5)
+    sim.run()
+    assert timer.triggered
+    assert timer.cancel() is False
+    assert not timer.cancelled
+
+
+def test_cancel_zero_delay_timeout():
+    """Tombstones in the same-instant FIFO are skipped too."""
+    sim = Simulator()
+    dead = sim.timeout(0)
+    assert dead.cancel()
+    done = []
+
+    def proc():
+        yield sim.timeout(0)
+        done.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert done == [0.0]
+
+
+def test_wait_on_cancelled_timeout_rejected():
+    sim = Simulator()
+    guard = sim.timeout(50)
+    guard.cancel()
+
+    def proc():
+        yield guard
+
+    sim.process(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_anyof_over_already_fired_event():
+    sim = Simulator()
+    done = sim.event()
+    done.succeed("early")
+    sim.run()  # the event is fired *and processed* before the AnyOf exists
+    got = []
+
+    def proc():
+        result = yield AnyOf(sim, [done, sim.timeout(100)])
+        got.append(result)
+
+    sim.process(proc())
+    sim.run()
+    assert got == [{done: "early"}]  # satisfied at t=0, timer excluded
+
+
+def test_mass_cancellation_compacts_heap():
+    sim = Simulator()
+    guards = [sim.timeout(1000 + i) for i in range(300)]
+    keeper = sim.timeout(5000, value="keep")
+    for guard in guards:
+        assert guard.cancel()
+    # Tombstones came to dominate, so the heap was rebuilt in place.
+    assert sim._stat_compactions >= 1
+    assert len(sim._heap) < 300
+    assert sim.run(until=keeper) == "keep"
+    assert sim.now == 5000
 
 
 def test_priority_store_blocking_put_rejected():
