@@ -1,13 +1,27 @@
+# Targets:
+#   test               tier-1 suite (ROADMAP.md): pytest -x -q, stop on
+#                      first failure — the gate every PR must keep green
+#   test-fast          alias of the tier-1 command (kept for muscle memory)
+#   bench-engine       sim-engine microbenchmarks -> BENCH_engine.json
+#   bench-engine-quick CI-sized engine smoke (seconds, not minutes)
+#   bench-runall       serial-vs-parallel + cold-vs-warm-cache wall clock
+#                      for the experiment runner -> BENCH_runall.json
+#   run-all            all 18 experiments, serial (bit-for-bit the
+#                      historical output)
+#   run-all-par        the same artifact fanned out over REPRO_JOBS
+#                      workers (default 4); tables are identical
 PYTHON ?= python
 export PYTHONPATH := src
+REPRO_JOBS ?= 4
 
-.PHONY: test test-fast bench-engine run-all
+.PHONY: test test-fast bench-engine bench-engine-quick bench-runall \
+	run-all run-all-par
 
 test:
-	$(PYTHON) -m pytest -q
+	$(PYTHON) -m pytest -x -q
 
 test-fast:
-	$(PYTHON) -m pytest -q -x
+	$(PYTHON) -m pytest -x -q
 
 # Engine microbenchmarks; writes BENCH_engine.json at the repo root so
 # successive PRs can track the events/sec trajectory.
@@ -18,5 +32,11 @@ bench-engine:
 bench-engine-quick:
 	$(PYTHON) benchmarks/bench_engine.py --quick
 
+bench-runall:
+	$(PYTHON) benchmarks/bench_runall.py --out BENCH_runall.json
+
 run-all:
 	$(PYTHON) -m repro.experiments.run_all
+
+run-all-par:
+	$(PYTHON) -m repro.experiments.run_all --jobs $(REPRO_JOBS)

@@ -1,0 +1,367 @@
+"""The job registry: every experiment as independently schedulable jobs.
+
+Monolithic experiments (a single ``run_*`` body that prints its own
+tables) map to one job per printed section; sweep experiments map to
+one job per sweep *point* — each (stack, rate) of the load sweep, each
+(size, delivery mode) of the DMA crossover, each stack of the design
+space — so a multi-core host can fan the whole artifact out, and the
+cache can invalidate single points.
+
+Every job is a pure function of its params + seed (fresh testbed per
+point), so execution order and worker placement never change results.
+``run_experiments`` reassembles point values into exactly the tables
+the serial ``run_*`` functions print: the renderers are shared code,
+so ``--jobs N`` output is byte-identical to the serial runner's.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from contextlib import redirect_stdout
+from dataclasses import dataclass, field
+from io import StringIO
+from typing import Any, Callable, Optional
+
+from ..experiments import crossover as _crossover
+from ..experiments import dynamic_mix as _dynamic_mix
+from ..experiments import four_stacks as _four_stacks
+from ..experiments import load_sweep as _load_sweep
+from ..experiments import sensitivity as _sensitivity
+from ..experiments import serverless as _serverless
+from ..sim.rng import derive_seed
+from .pool import JobResult, JobSpec, execute_job, jsonable, run_jobs
+
+__all__ = ["ExperimentSpec", "EXPERIMENT_SPECS", "RunOutcome",
+           "run_experiments"]
+
+_EXP = "repro.experiments"
+
+# Sweep axes mirror the serial runners' defaults exactly.
+_MIX_COUNTS = (2, 8, 32)
+_MIX_STACKS = ("linux", "bypass", "lauberhorn")
+_CROSSOVER_SIZES = _crossover.DEFAULT_SIZES
+_SWEEP_STACKS = ("linux", "bypass", "lauberhorn")
+_SWEEP_RATES = (50e3, 150e3, 300e3, 600e3)
+_SERVERLESS_STACKS = ("linux", "lauberhorn")
+_SENSITIVITY_SWEEP = (125, 250, 350, 500, 700, 1000, 1400)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment: its jobs plus how to reassemble/render them."""
+
+    name: str
+    title: str
+    build_jobs: Callable[[int], list[JobSpec]]
+    #: points experiments only: values-in-job-order -> final value
+    #: (printing the tables to stdout); monolithic experiments return
+    #: their jobs' values directly and their stdout is replayed.
+    assemble: Optional[Callable[[list[Any]], Any]] = None
+
+
+def _mono(name: str, title: str, parts: list[tuple[str, str]]) -> ExperimentSpec:
+    """A monolithic experiment: one stdout-printing job per section."""
+
+    def build_jobs(root_seed: int) -> list[JobSpec]:
+        return [
+            JobSpec.make(f"{name}/{part}", name, f"{_EXP}.{fn}", capture=True)
+            for part, fn in parts
+        ]
+
+    return ExperimentSpec(name=name, title=title, build_jobs=build_jobs)
+
+
+def _point_seed(root_seed: int, name: str, job_id: str,
+                default: int = 0) -> int:
+    """Seed for a seed-accepting point job.
+
+    Root seed 0 (the default) reproduces the serial runners' built-in
+    seeds bit-for-bit; any other root derives an independent per-job
+    seed, stable across workers and execution order.
+    """
+    return default if root_seed == 0 else derive_seed(root_seed, name, job_id)
+
+
+def _seeded_spec(job_id: str, experiment: str, fn: str, seed: int,
+                 **params: Any) -> JobSpec:
+    """A point job whose function takes an explicit ``seed`` kwarg."""
+    params["seed"] = seed
+    return JobSpec(
+        job_id=job_id,
+        experiment=experiment,
+        fn=fn,
+        params=tuple(sorted(params.items())),
+        seed=seed,
+        capture=False,
+    )
+
+
+def _dynamic_mix_jobs(root_seed: int) -> list[JobSpec]:
+    return [
+        _seeded_spec(
+            f"e4/{stack}@{count}", "e4",
+            f"{_EXP}.dynamic_mix:measure_mix_point",
+            _point_seed(root_seed, "e4", f"{stack}@{count}"),
+            stack=stack, n_services=count,
+        )
+        for count in _MIX_COUNTS
+        for stack in _MIX_STACKS
+    ]
+
+
+def _assemble_dynamic_mix(values: list[Any]) -> Any:
+    results = [_dynamic_mix.MixResult(**v) for v in values]
+    _dynamic_mix.render_dynamic_mix(results)
+    return jsonable(results)
+
+
+def _crossover_jobs(root_seed: int) -> list[JobSpec]:
+    jobs = []
+    for size in _CROSSOVER_SIZES:
+        for mode, force_dma in (("line", False), ("dma", True)):
+            jobs.append(JobSpec.make(
+                f"e5/{mode}@{size}", "e5",
+                f"{_EXP}.crossover:measure_rtt_for_size",
+                capture=False,
+                payload_bytes=size, force_dma=force_dma,
+            ))
+    return jobs
+
+
+def _assemble_crossover(values: list[Any]) -> Any:
+    points, cross = _crossover.assemble_crossover(
+        _CROSSOVER_SIZES, values[0::2], values[1::2]
+    )
+    _crossover.render_crossover(points, cross)
+    return jsonable((points, cross))
+
+
+def _four_stacks_jobs(root_seed: int) -> list[JobSpec]:
+    return [
+        JobSpec.make(
+            f"e11/{stack}", "e11", f"{_EXP}.four_stacks:measure_stack",
+            capture=False, stack=stack,
+        )
+        for stack in _four_stacks.STACKS
+    ]
+
+
+def _assemble_four_stacks(values: list[Any]) -> Any:
+    results = [_four_stacks.StackResult(**v) for v in values]
+    _four_stacks.render_four_stacks(results)
+    return jsonable(results)
+
+
+def _load_sweep_jobs(root_seed: int) -> list[JobSpec]:
+    return [
+        JobSpec.make(
+            f"e15/{stack}@{rate:.0f}", "e15",
+            f"{_EXP}.load_sweep:measure_load_point",
+            capture=False, stack=stack, rate_per_sec=rate,
+        )
+        for stack in _SWEEP_STACKS
+        for rate in _SWEEP_RATES
+    ]
+
+
+def _assemble_load_sweep(values: list[Any]) -> Any:
+    results = [_load_sweep.LoadPoint(**v) for v in values]
+    _load_sweep.render_load_sweep(results)
+    return jsonable(results)
+
+
+def _serverless_jobs(root_seed: int) -> list[JobSpec]:
+    return [
+        _seeded_spec(
+            f"e17/{stack}", "e17",
+            f"{_EXP}.serverless:measure_serverless_stack",
+            _point_seed(root_seed, "e17", stack),
+            stack=stack,
+        )
+        for stack in _SERVERLESS_STACKS
+    ]
+
+
+def _assemble_serverless(values: list[Any]) -> Any:
+    results = [_serverless.ServerlessResult(**v) for v in values]
+    _serverless.render_serverless(results)
+    return jsonable(results)
+
+
+def _sensitivity_jobs(root_seed: int) -> list[JobSpec]:
+    jobs = [JobSpec.make(
+        "e18/bypass", "e18", f"{_EXP}.sensitivity:bypass_baseline_rtt",
+        capture=False,
+    )]
+    jobs += [
+        JobSpec.make(
+            f"e18/lauberhorn@{one_way}", "e18",
+            f"{_EXP}.sensitivity:lauberhorn_rtt_at",
+            capture=False, one_way_ns=float(one_way),
+        )
+        for one_way in _SENSITIVITY_SWEEP
+    ]
+    return jobs
+
+
+def _assemble_sensitivity(values: list[Any]) -> Any:
+    points, break_even = _sensitivity.assemble_sensitivity(
+        _SENSITIVITY_SWEEP, values[1:], values[0]
+    )
+    _sensitivity.render_sensitivity(points, break_even)
+    return jsonable((points, break_even))
+
+
+def _points(name: str, title: str, build_jobs, assemble) -> ExperimentSpec:
+    return ExperimentSpec(name=name, title=title, build_jobs=build_jobs,
+                          assemble=assemble)
+
+
+EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
+    spec.name: spec for spec in [
+        _mono("e1", "Figure 2 — 64 B round-trip latencies",
+              [("main", "fig2_roundtrip:run_fig2")]),
+        _mono("e2", "Section 2 — receive-path steps",
+              [("main", "fig1_steps:run_fig1_steps")]),
+        _mono("e3", "Figure 5 — dispatch comparison",
+              [("main", "fig5_dispatch:run_fig5_dispatch")]),
+        _points("e4", "Dynamic workload mix",
+                _dynamic_mix_jobs, _assemble_dynamic_mix),
+        _points("e5", "Section 6 — DMA crossover",
+                _crossover_jobs, _assemble_crossover),
+        _mono("e6", "Section 5.1 — Tryagain & energy",
+              [("energy", "tryagain:run_tryagain_energy"),
+               ("timeout", "tryagain:run_timeout_ablation")]),
+        _mono("e7", "Section 6 — model checking",
+              [("main", "model_check:run_model_check")]),
+        _mono("e8", "Section 5.2 — sched-state push",
+              [("main", "sched_state:run_sched_state")]),
+        _mono("e9", "Section 6 — nested RPCs",
+              [("main", "nested_rpc:run_nested_rpc")]),
+        _mono("e10", "Figure 4 — protocol cost",
+              [("main", "protocol_cost:run_protocol_cost")]),
+        _points("e11", "Section 2 design space — four stacks",
+                _four_stacks_jobs, _assemble_four_stacks),
+        _mono("e12", "Ablations — deserialisation offload & crypto placement",
+              [("deserialize", "ablation:run_deserialize_ablation"),
+               ("crypto", "ablation:run_crypto_ablation")]),
+        _mono("e13", "Section 6 — NIC telemetry breakdown",
+              [("main", "telemetry_breakdown:run_telemetry_breakdown")]),
+        _mono("e14", "Peak throughput & end-point scaling",
+              [("throughput", "throughput:run_throughput"),
+               ("scaling", "throughput:run_lauberhorn_scaling")]),
+        _points("e15", "Latency vs offered load",
+                _load_sweep_jobs, _assemble_load_sweep),
+        _mono("e16", "Section 3 — the IOMMU tax",
+              [("main", "iommu_tax:run_iommu_tax")]),
+        _points("e17", "Serverless consolidation trace",
+                _serverless_jobs, _assemble_serverless),
+        _points("e18", "Sensitivity — coherent-link latency",
+                _sensitivity_jobs, _assemble_sensitivity),
+    ]
+}
+
+
+@dataclass
+class RunOutcome:
+    """Everything a ``run_all`` invocation produced."""
+
+    values: dict[str, Any] = field(default_factory=dict)
+    timings_s: dict[str, float] = field(default_factory=dict)
+    job_results: list[JobResult] = field(default_factory=list)
+    failed: bool = False
+
+
+def _header(name: str, title: str) -> str:
+    bar = "=" * 72
+    return f"\n{bar}\n{name.upper()}: {title}\n{bar}"
+
+
+def _finish(spec: ExperimentSpec, results: list[JobResult]):
+    """(final value, table text still to print) for one experiment."""
+    bad = [r for r in results if not r.ok]
+    if bad:
+        text = "".join(
+            f"\nJOB FAILED: {r.job_id}\n{r.error}" for r in bad
+        )
+        value = {"error": [
+            {"job_id": r.job_id, "error": r.error} for r in bad
+        ]}
+        return value, text
+    if spec.assemble is None:
+        values = [r.value for r in results]
+        return (values[0] if len(values) == 1 else values), ""
+    sink = StringIO()
+    with redirect_stdout(sink):
+        value = spec.assemble([r.value for r in results])
+    return value, sink.getvalue()
+
+
+def run_experiments(
+    selected: list[str],
+    jobs: int = 1,
+    cache=None,
+    root_seed: int = 0,
+) -> RunOutcome:
+    """Run a selection of experiments and print the paper artifact.
+
+    ``jobs <= 1`` streams each experiment in order (monolithic bodies
+    print live, exactly like the historical serial runner); ``jobs > 1``
+    fans every job of every selected experiment over the pool at once,
+    then prints the experiment blocks in order from captured output.
+    """
+    outcome = RunOutcome()
+    job_lists = {
+        name: EXPERIMENT_SPECS[name].build_jobs(root_seed)
+        for name in selected
+    }
+
+    if jobs <= 1:
+        for name in selected:
+            spec = EXPERIMENT_SPECS[name]
+            print(_header(name, spec.title))
+            started = time.perf_counter()
+            results = []
+            for job in job_lists[name]:
+                hit = cache.lookup(job) if cache is not None else None
+                if hit is not None:
+                    if hit.stdout:
+                        sys.stdout.write(hit.stdout)
+                    results.append(hit)
+                    continue
+                result = execute_job(job, tee=True)
+                if cache is not None and result.ok:
+                    cache.store(job, result)
+                results.append(result)
+            value, tail = _finish(spec, results)
+            if tail:
+                sys.stdout.write(tail)
+            wall = time.perf_counter() - started
+            _record(outcome, name, value, wall, results)
+    else:
+        flat = [job for name in selected for job in job_lists[name]]
+        by_id = run_jobs(flat, jobs=jobs, cache=cache)
+        for name in selected:
+            spec = EXPERIMENT_SPECS[name]
+            print(_header(name, spec.title))
+            results = [by_id[job.job_id] for job in job_lists[name]]
+            for result in results:
+                if result.stdout:
+                    sys.stdout.write(result.stdout)
+            value, tail = _finish(spec, results)
+            if tail:
+                sys.stdout.write(tail)
+            wall = sum(r.wall_s for r in results)
+            _record(outcome, name, value, wall, results)
+    return outcome
+
+
+def _record(outcome: RunOutcome, name: str, value: Any, wall: float,
+            results: list[JobResult]) -> None:
+    outcome.values[name] = value
+    outcome.timings_s[name] = wall
+    outcome.job_results.extend(results)
+    if any(not r.ok for r in results):
+        outcome.failed = True
+    print(f"\n[{name} completed in {wall:.1f} s wall clock]")

@@ -25,7 +25,8 @@ from ..workloads.distributions import args_for_payload
 from .report import fmt_ns, print_table
 from .testbed import build_lauberhorn_testbed
 
-__all__ = ["CrossoverPoint", "run_crossover", "measure_rtt_for_size"]
+__all__ = ["CrossoverPoint", "assemble_crossover", "render_crossover",
+           "run_crossover", "measure_rtt_for_size"]
 
 DEFAULT_SIZES = (64, 128, 256, 512, 1024, 2048, 4096, 6144, 8192, 16384)
 
@@ -90,32 +91,49 @@ def measure_rtt_for_size(
     return sum(steady) / len(steady)
 
 
+def assemble_crossover(
+    sizes, line_rtts, dma_rtts,
+) -> tuple[list[CrossoverPoint], Optional[int]]:
+    """Combine per-(size, mode) RTTs into the sweep result."""
+    points = [
+        CrossoverPoint(payload_bytes=size, line_rtt_ns=line, dma_rtt_ns=dma)
+        for size, line, dma in zip(sizes, line_rtts, dma_rtts)
+    ]
+    crossover = next((p.payload_bytes for p in points if p.dma_wins), None)
+    return points, crossover
+
+
+def render_crossover(
+    points: list[CrossoverPoint],
+    crossover: Optional[int],
+    machine_name: str = ENZIAN.name,
+) -> None:
+    sizes = [p.payload_bytes for p in points]
+    print_table(
+        ["payload", "line path RTT", "DMA path RTT", "winner"],
+        [
+            (f"{p.payload_bytes} B", fmt_ns(p.line_rtt_ns),
+             fmt_ns(p.dma_rtt_ns), "DMA" if p.dma_wins else "lines")
+            for p in points
+        ],
+        title=f"Section 6 — delivery-mechanism crossover on {machine_name}",
+    )
+    print(f"\ncrossover: DMA first wins at "
+          f"{crossover if crossover else '>' + str(sizes[-1])} B "
+          f"(paper: ~4 KiB on Enzian)")
+
+
 def run_crossover(
     sizes=DEFAULT_SIZES,
     params: MachineParams = ENZIAN,
     verbose: bool = True,
 ) -> tuple[list[CrossoverPoint], Optional[int]]:
     """Sweep sizes; return (points, crossover_size_or_None)."""
-    points = [
-        CrossoverPoint(
-            payload_bytes=size,
-            line_rtt_ns=measure_rtt_for_size(size, force_dma=False, params=params),
-            dma_rtt_ns=measure_rtt_for_size(size, force_dma=True, params=params),
-        )
-        for size in sizes
-    ]
-    crossover = next((p.payload_bytes for p in points if p.dma_wins), None)
+    points, crossover = assemble_crossover(
+        sizes,
+        [measure_rtt_for_size(s, force_dma=False, params=params) for s in sizes],
+        [measure_rtt_for_size(s, force_dma=True, params=params) for s in sizes],
+    )
     if verbose:
-        print_table(
-            ["payload", "line path RTT", "DMA path RTT", "winner"],
-            [
-                (f"{p.payload_bytes} B", fmt_ns(p.line_rtt_ns),
-                 fmt_ns(p.dma_rtt_ns), "DMA" if p.dma_wins else "lines")
-                for p in points
-            ],
-            title=f"Section 6 — delivery-mechanism crossover on {params.name}",
-        )
-        print(f"\ncrossover: DMA first wins at "
-              f"{crossover if crossover else '>' + str(sizes[-1])} B "
-              f"(paper: ~4 KiB on Enzian)")
+        render_crossover(points, crossover, machine_name=params.name)
     return points, crossover

@@ -42,7 +42,8 @@ from .testbed import (
     build_linux_testbed,
 )
 
-__all__ = ["MixResult", "run_dynamic_mix"]
+__all__ = ["MixResult", "measure_mix_point", "render_dynamic_mix",
+           "run_dynamic_mix"]
 
 HANDLER_COST = 1000
 BASE_PORT = 9000
@@ -109,19 +110,9 @@ def _run_load(bed, targets, n_serving: int, rate_per_sec: float,
     return generator, per_request
 
 
-def run_dynamic_mix(
-    service_counts=(2, 8, 32),
-    n_serving: int = 4,
-    rate_per_sec: float = 50_000,
-    n_requests: int = 300,
-    rotation_ns: float = 2 * MS,
-    seed: int = 0,
-    verbose: bool = True,
-) -> list[MixResult]:
-    results: list[MixResult] = []
-
-    for n_services in service_counts:
-        # Linux.
+def _build_stack(stack: str, n_services: int, n_serving: int):
+    """A fresh testbed + service targets for one (stack, n_services)."""
+    if stack == "linux":
         bed = build_linux_testbed(n_queues=n_serving)
         targets = _make_services(bed, n_services)
         for index, target in enumerate(targets):
@@ -132,14 +123,8 @@ def run_dynamic_mix(
                 linux_udp_worker(socket, bed.registry),
                 pinned_core=index % n_serving,
             )
-        generator, busy = _run_load(
-            bed, targets, n_serving, rate_per_sec, n_requests, rotation_ns, seed
-        )
-        summary = generator.recorder.summary()
-        results.append(MixResult("linux", n_services, generator.completed,
-                                 summary.p50, summary.p99, busy))
-
-        # Bypass.
+        return bed, targets
+    if stack == "bypass":
         bed = build_bypass_testbed(n_queues=n_services)
         targets = _make_services(bed, n_services)
         for index, target in enumerate(targets):
@@ -155,14 +140,8 @@ def run_dynamic_mix(
                 bypass_worker(bed.nic, queues, bed.user_netctx, bed.registry),
                 pinned_core=worker,
             )
-        generator, busy = _run_load(
-            bed, targets, n_serving, rate_per_sec, n_requests, rotation_ns, seed
-        )
-        summary = generator.recorder.summary()
-        results.append(MixResult("bypass", n_services, generator.completed,
-                                 summary.p50, summary.p99, busy))
-
-        # Lauberhorn.
+        return bed, targets
+    if stack == "lauberhorn":
         bed = build_lauberhorn_testbed()
         targets = _make_services(bed, n_services)
         for index, target in enumerate(targets):
@@ -174,23 +153,62 @@ def run_dynamic_mix(
             n_dispatchers=n_serving, promote=True,
             dispatcher_cores=list(range(n_serving)),
         )
-        generator, busy = _run_load(
-            bed, targets, n_serving, rate_per_sec, n_requests, rotation_ns, seed
-        )
-        summary = generator.recorder.summary()
-        results.append(MixResult("lauberhorn", n_services, generator.completed,
-                                 summary.p50, summary.p99, busy))
+        return bed, targets
+    raise ValueError(f"unknown stack {stack!r}")
 
+
+def measure_mix_point(
+    stack: str,
+    n_services: int,
+    n_serving: int = 4,
+    rate_per_sec: float = 50_000,
+    n_requests: int = 300,
+    rotation_ns: float = 2 * MS,
+    seed: int = 0,
+) -> MixResult:
+    """One sweep point: one stack serving one service count."""
+    bed, targets = _build_stack(stack, n_services, n_serving)
+    generator, busy = _run_load(
+        bed, targets, n_serving, rate_per_sec, n_requests, rotation_ns, seed
+    )
+    summary = generator.recorder.summary()
+    return MixResult(stack, n_services, generator.completed,
+                     summary.p50, summary.p99, busy)
+
+
+def render_dynamic_mix(
+    results: list[MixResult],
+    n_serving: int = 4,
+    rate_per_sec: float = 50_000,
+) -> None:
+    print_table(
+        ["stack", "services", "completed", "p50", "p99", "busy/req"],
+        [
+            (r.stack, r.n_services, r.completed, fmt_ns(r.p50_ns),
+             fmt_ns(r.p99_ns), fmt_ns(r.busy_ns_per_request))
+            for r in results
+        ],
+        title="Dynamic workloads — rotating hot set over "
+              f"{n_serving} serving cores (open loop, "
+              f"{rate_per_sec:.0f}/s)",
+    )
+
+
+def run_dynamic_mix(
+    service_counts=(2, 8, 32),
+    n_serving: int = 4,
+    rate_per_sec: float = 50_000,
+    n_requests: int = 300,
+    rotation_ns: float = 2 * MS,
+    seed: int = 0,
+    verbose: bool = True,
+) -> list[MixResult]:
+    results = [
+        measure_mix_point(stack, n_services, n_serving, rate_per_sec,
+                          n_requests, rotation_ns, seed)
+        for n_services in service_counts
+        for stack in ("linux", "bypass", "lauberhorn")
+    ]
     if verbose:
-        print_table(
-            ["stack", "services", "completed", "p50", "p99", "busy/req"],
-            [
-                (r.stack, r.n_services, r.completed, fmt_ns(r.p50_ns),
-                 fmt_ns(r.p99_ns), fmt_ns(r.busy_ns_per_request))
-                for r in results
-            ],
-            title="Dynamic workloads — rotating hot set over "
-                  f"{n_serving} serving cores (open loop, "
-                  f"{rate_per_sec:.0f}/s)",
-        )
+        render_dynamic_mix(results, n_serving, rate_per_sec)
     return results

@@ -32,7 +32,8 @@ from .testbed import (
     build_linux_testbed,
 )
 
-__all__ = ["StackResult", "run_four_stacks"]
+__all__ = ["StackResult", "STACKS", "measure_stack", "render_four_stacks",
+           "run_four_stacks"]
 
 HANDLER_COST = 500
 
@@ -73,78 +74,85 @@ def _measure(bed, service, method, n_requests: int) -> StackResult:
     return summary, state["cost"]
 
 
-def run_four_stacks(n_requests: int = 25, verbose: bool = True) -> list[StackResult]:
-    results: list[StackResult] = []
-
-    # Linux.
-    bed = build_linux_testbed()
-    service = bed.registry.create_service("echo", udp_port=9000)
-    method = bed.registry.add_method(service, "m", lambda a: list(a),
-                                     cost_instructions=HANDLER_COST)
-    socket = bed.netstack.bind(9000)
-    proc = bed.kernel.spawn_process("srv")
-    bed.kernel.spawn_thread(proc, linux_udp_worker(socket, bed.registry))
-    summary, cost = _measure(bed, service, method, n_requests)
-    results.append(StackResult("linux", summary.p50, summary.p99,
-                               cost.busy_ns_per_request))
-
-    # Snap.
-    bed = build_bypass_testbed()
-    service = bed.registry.create_service("echo", udp_port=9000)
-    method = bed.registry.add_method(service, "m", lambda a: list(a),
-                                     cost_instructions=HANDLER_COST)
-    bed.nic.steer_port(9000, 0)
-    engine = SnapEngine(bed.sim, bed.registry, bed.user_netctx)
-    engine_proc = bed.kernel.spawn_process("snap-engine")
-    bed.kernel.spawn_thread(
-        engine_proc, snap_engine_body(bed.nic, [bed.nic.queues[0]], engine),
-        pinned_core=0,
-    )
-    worker_proc = bed.kernel.spawn_process("snap-worker")
-    bed.kernel.spawn_thread(
-        worker_proc, snap_worker_body(engine, service), pinned_core=1,
-    )
-    summary, cost = _measure(bed, service, method, n_requests)
-    results.append(StackResult("snap", summary.p50, summary.p99,
-                               cost.busy_ns_per_request))
-
-    # Bypass.
-    bed = build_bypass_testbed()
-    service = bed.registry.create_service("echo", udp_port=9000)
-    method = bed.registry.add_method(service, "m", lambda a: list(a),
-                                     cost_instructions=HANDLER_COST)
-    bed.nic.steer_port(9000, 0)
-    proc = bed.kernel.spawn_process("pmd")
-    bed.kernel.spawn_thread(
-        proc, bypass_worker(bed.nic, bed.nic.queues[0], bed.user_netctx,
-                            bed.registry),
-        pinned_core=0,
-    )
-    summary, cost = _measure(bed, service, method, n_requests)
-    results.append(StackResult("bypass", summary.p50, summary.p99,
-                               cost.busy_ns_per_request))
-
-    # Lauberhorn.
-    bed = build_lauberhorn_testbed()
-    service = bed.registry.create_service("echo", udp_port=9000)
-    method = bed.registry.add_method(service, "m", lambda a: list(a),
-                                     cost_instructions=HANDLER_COST)
-    proc = bed.kernel.spawn_process("srv")
-    bed.nic.register_service(service, proc.pid)
-    endpoint = bed.nic.create_endpoint(EndpointKind.USER, service=service)
-    bed.kernel.spawn_thread(
-        proc, lauberhorn_user_loop(bed.nic, endpoint, bed.registry),
-        pinned_core=0,
-    )
-    summary, cost = _measure(bed, service, method, n_requests)
-    results.append(StackResult("lauberhorn", summary.p50, summary.p99,
-                               cost.busy_ns_per_request))
-
-    if verbose:
-        print_table(
-            ["stack", "p50 RTT", "p99 RTT", "busy/req"],
-            [(r.stack, fmt_ns(r.p50_rtt_ns), fmt_ns(r.p99_rtt_ns),
-              fmt_ns(r.busy_ns_per_request)) for r in results],
-            title="Section 2's design space — four stacks, one workload",
+def _build_stack(stack: str):
+    """A fresh echo testbed for one of the four architectures."""
+    if stack == "linux":
+        bed = build_linux_testbed()
+        service = bed.registry.create_service("echo", udp_port=9000)
+        method = bed.registry.add_method(service, "m", lambda a: list(a),
+                                         cost_instructions=HANDLER_COST)
+        socket = bed.netstack.bind(9000)
+        proc = bed.kernel.spawn_process("srv")
+        bed.kernel.spawn_thread(proc, linux_udp_worker(socket, bed.registry))
+        return bed, service, method
+    if stack == "snap":
+        bed = build_bypass_testbed()
+        service = bed.registry.create_service("echo", udp_port=9000)
+        method = bed.registry.add_method(service, "m", lambda a: list(a),
+                                         cost_instructions=HANDLER_COST)
+        bed.nic.steer_port(9000, 0)
+        engine = SnapEngine(bed.sim, bed.registry, bed.user_netctx)
+        engine_proc = bed.kernel.spawn_process("snap-engine")
+        bed.kernel.spawn_thread(
+            engine_proc, snap_engine_body(bed.nic, [bed.nic.queues[0]], engine),
+            pinned_core=0,
         )
+        worker_proc = bed.kernel.spawn_process("snap-worker")
+        bed.kernel.spawn_thread(
+            worker_proc, snap_worker_body(engine, service), pinned_core=1,
+        )
+        return bed, service, method
+    if stack == "bypass":
+        bed = build_bypass_testbed()
+        service = bed.registry.create_service("echo", udp_port=9000)
+        method = bed.registry.add_method(service, "m", lambda a: list(a),
+                                         cost_instructions=HANDLER_COST)
+        bed.nic.steer_port(9000, 0)
+        proc = bed.kernel.spawn_process("pmd")
+        bed.kernel.spawn_thread(
+            proc, bypass_worker(bed.nic, bed.nic.queues[0], bed.user_netctx,
+                                bed.registry),
+            pinned_core=0,
+        )
+        return bed, service, method
+    if stack == "lauberhorn":
+        bed = build_lauberhorn_testbed()
+        service = bed.registry.create_service("echo", udp_port=9000)
+        method = bed.registry.add_method(service, "m", lambda a: list(a),
+                                         cost_instructions=HANDLER_COST)
+        proc = bed.kernel.spawn_process("srv")
+        bed.nic.register_service(service, proc.pid)
+        endpoint = bed.nic.create_endpoint(EndpointKind.USER, service=service)
+        bed.kernel.spawn_thread(
+            proc, lauberhorn_user_loop(bed.nic, endpoint, bed.registry),
+            pinned_core=0,
+        )
+        return bed, service, method
+    raise ValueError(f"unknown stack {stack!r}")
+
+
+STACKS = ("linux", "snap", "bypass", "lauberhorn")
+
+
+def measure_stack(stack: str, n_requests: int = 25) -> StackResult:
+    """One design-space point: one architecture, the same echo workload."""
+    bed, service, method = _build_stack(stack)
+    summary, cost = _measure(bed, service, method, n_requests)
+    return StackResult(stack, summary.p50, summary.p99,
+                       cost.busy_ns_per_request)
+
+
+def render_four_stacks(results: list[StackResult]) -> None:
+    print_table(
+        ["stack", "p50 RTT", "p99 RTT", "busy/req"],
+        [(r.stack, fmt_ns(r.p50_rtt_ns), fmt_ns(r.p99_rtt_ns),
+          fmt_ns(r.busy_ns_per_request)) for r in results],
+        title="Section 2's design space — four stacks, one workload",
+    )
+
+
+def run_four_stacks(n_requests: int = 25, verbose: bool = True) -> list[StackResult]:
+    results = [measure_stack(stack, n_requests) for stack in STACKS]
+    if verbose:
+        render_four_stacks(results)
     return results

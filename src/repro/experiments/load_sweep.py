@@ -23,7 +23,8 @@ from .testbed import (
     build_linux_testbed,
 )
 
-__all__ = ["LoadPoint", "run_load_sweep"]
+__all__ = ["LoadPoint", "measure_load_point", "render_load_sweep",
+           "run_load_sweep"]
 
 HANDLER_COST = 500
 
@@ -80,38 +81,50 @@ def _build(stack: str):
     raise ValueError(f"unknown stack {stack!r}")
 
 
+def measure_load_point(
+    stack: str, rate_per_sec: float, n_requests: int = 250,
+) -> LoadPoint:
+    """One sweep point: one stack at one offered rate, fresh testbed."""
+    bed, service, method = _build(stack)
+    generator = OpenLoopGenerator(
+        bed.clients[0],
+        ServiceMix([Target(service, method)]),
+        bed.server_mac,
+        bed.server_ip,
+        rng=bed.machine.rng.stream("sweep"),
+    )
+    done = bed.sim.process(generator.run(rate_per_sec, n_requests))
+    bed.machine.run(until=done)
+    summary = generator.recorder.summary()
+    return LoadPoint(
+        stack=stack,
+        rate_per_sec=rate_per_sec,
+        completed=generator.completed,
+        p50_ns=summary.p50,
+        p99_ns=summary.p99,
+    )
+
+
+def render_load_sweep(points: list[LoadPoint]) -> None:
+    print_table(
+        ["stack", "offered kreq/s", "p50", "p99"],
+        [(p.stack, f"{p.rate_per_sec / 1e3:.0f}", fmt_ns(p.p50_ns),
+          fmt_ns(p.p99_ns)) for p in points],
+        title="Latency vs offered load (one serving core)",
+    )
+
+
 def run_load_sweep(
     rates=(50e3, 150e3, 300e3, 600e3),
     n_requests: int = 250,
     stacks=("linux", "bypass", "lauberhorn"),
     verbose: bool = True,
 ) -> list[LoadPoint]:
-    points: list[LoadPoint] = []
-    for stack in stacks:
-        for rate in rates:
-            bed, service, method = _build(stack)
-            generator = OpenLoopGenerator(
-                bed.clients[0],
-                ServiceMix([Target(service, method)]),
-                bed.server_mac,
-                bed.server_ip,
-                rng=bed.machine.rng.stream("sweep"),
-            )
-            done = bed.sim.process(generator.run(rate, n_requests))
-            bed.machine.run(until=done)
-            summary = generator.recorder.summary()
-            points.append(LoadPoint(
-                stack=stack,
-                rate_per_sec=rate,
-                completed=generator.completed,
-                p50_ns=summary.p50,
-                p99_ns=summary.p99,
-            ))
+    points = [
+        measure_load_point(stack, rate, n_requests)
+        for stack in stacks
+        for rate in rates
+    ]
     if verbose:
-        print_table(
-            ["stack", "offered kreq/s", "p50", "p99"],
-            [(p.stack, f"{p.rate_per_sec / 1e3:.0f}", fmt_ns(p.p50_ns),
-              fmt_ns(p.p99_ns)) for p in points],
-            title="Latency vs offered load (one serving core)",
-        )
+        render_load_sweep(points)
     return points

@@ -5,20 +5,33 @@ Usage::
     python -m repro.experiments.run_all                   # everything
     python -m repro.experiments.run_all e1 e5 e7          # a subset
     python -m repro.experiments.run_all --json out.json   # + raw results
+    python -m repro.experiments.run_all --jobs 4          # process pool
+    python -m repro.experiments.run_all --no-cache        # force re-run
+    python -m repro.experiments.run_all --timings         # per-job table
 
 The printed tables are the reproduction's equivalents of the paper's
 figures; EXPERIMENTS.md records a captured run next to the paper's own
 numbers.  ``--json`` additionally dumps every experiment's structured
-results (dataclasses, recursively serialised) for downstream tooling.
+results (dataclasses, recursively serialised) plus per-experiment wall
+clock under the ``"_timings_s"`` key.
+
+This module is a thin CLI over :mod:`repro.exp`: experiments are
+decomposed into independently schedulable jobs (one per sweep point),
+fanned out over ``--jobs N`` processes (default ``$REPRO_JOBS`` or 1),
+and memoised in the content-addressed cache under ``.repro-cache/``
+(keyed by experiment, params, seed, and the code fingerprint of the
+modules each experiment imports).  The tables are identical at any job
+count; re-runs only execute jobs whose key changed.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import sys
-import time
 
+from ..exp.cache import ResultCache
+from ..exp.jobs import EXPERIMENT_SPECS, run_experiments
+from ..exp.pool import default_jobs, jsonable as _jsonable
 from .ablation import run_crypto_ablation, run_deserialize_ablation
 from .crossover import run_crossover
 from .dynamic_mix import run_dynamic_mix
@@ -31,6 +44,7 @@ from .load_sweep import run_load_sweep
 from .model_check import run_model_check
 from .nested_rpc import run_nested_rpc
 from .protocol_cost import run_protocol_cost
+from .report import format_table
 from .sched_state import run_sched_state
 from .sensitivity import run_sensitivity
 from .serverless import run_serverless
@@ -40,77 +54,114 @@ from .tryagain import run_timeout_ablation, run_tryagain_energy
 
 __all__ = ["EXPERIMENTS", "main"]
 
+# Legacy API: each experiment as (title, serial callable).  The CLI
+# itself schedules through repro.exp's job registry; these callables
+# remain for programmatic use and produce identical output/results.
+_SERIAL = {
+    "e1": lambda: run_fig2(),
+    "e2": lambda: run_fig1_steps(),
+    "e3": lambda: run_fig5_dispatch(),
+    "e4": lambda: run_dynamic_mix(),
+    "e5": lambda: run_crossover(),
+    "e6": lambda: (run_tryagain_energy(), run_timeout_ablation()),
+    "e7": lambda: run_model_check(),
+    "e8": lambda: run_sched_state(),
+    "e9": lambda: run_nested_rpc(),
+    "e10": lambda: run_protocol_cost(),
+    "e11": lambda: run_four_stacks(),
+    "e12": lambda: (run_deserialize_ablation(), run_crypto_ablation()),
+    "e13": lambda: run_telemetry_breakdown(),
+    "e14": lambda: (run_throughput(), run_lauberhorn_scaling()),
+    "e15": lambda: run_load_sweep(),
+    "e16": lambda: run_iommu_tax(),
+    "e17": lambda: run_serverless(),
+    "e18": lambda: run_sensitivity(),
+}
+
 EXPERIMENTS = {
-    "e1": ("Figure 2 — 64 B round-trip latencies", lambda: run_fig2()),
-    "e2": ("Section 2 — receive-path steps", lambda: run_fig1_steps()),
-    "e3": ("Figure 5 — dispatch comparison", lambda: run_fig5_dispatch()),
-    "e4": ("Dynamic workload mix", lambda: run_dynamic_mix()),
-    "e5": ("Section 6 — DMA crossover", lambda: run_crossover()),
-    "e6": ("Section 5.1 — Tryagain & energy",
-           lambda: (run_tryagain_energy(), run_timeout_ablation())),
-    "e7": ("Section 6 — model checking", lambda: run_model_check()),
-    "e8": ("Section 5.2 — sched-state push", lambda: run_sched_state()),
-    "e9": ("Section 6 — nested RPCs", lambda: run_nested_rpc()),
-    "e10": ("Figure 4 — protocol cost", lambda: run_protocol_cost()),
-    "e11": ("Section 2 design space — four stacks", lambda: run_four_stacks()),
-    "e12": ("Ablations — deserialisation offload & crypto placement",
-            lambda: (run_deserialize_ablation(), run_crypto_ablation())),
-    "e13": ("Section 6 — NIC telemetry breakdown",
-            lambda: run_telemetry_breakdown()),
-    "e14": ("Peak throughput & end-point scaling",
-            lambda: (run_throughput(), run_lauberhorn_scaling())),
-    "e15": ("Latency vs offered load", lambda: run_load_sweep()),
-    "e16": ("Section 3 — the IOMMU tax", lambda: run_iommu_tax()),
-    "e17": ("Serverless consolidation trace", lambda: run_serverless()),
-    "e18": ("Sensitivity — coherent-link latency", lambda: run_sensitivity()),
+    name: (EXPERIMENT_SPECS[name].title, _SERIAL[name])
+    for name in EXPERIMENT_SPECS
 }
 
 
-def _jsonable(value):
-    """Recursively convert experiment results to JSON-friendly data."""
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {
-            field.name: _jsonable(getattr(value, field.name))
-            for field in dataclasses.fields(value)
-        }
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return repr(value)
+def _print_timings(outcome, cache) -> None:
+    rows = [
+        (r.job_id, "cache" if r.cached else "ran",
+         f"{r.wall_s:.3f}", f"{r.cpu_s:.3f}")
+        for r in outcome.job_results
+    ]
+    print()
+    print(format_table(["job", "source", "wall s", "cpu s"], rows,
+                       title="Per-job timings"))
+    if cache is not None:
+        print(f"\ncache: {cache.hits} hit(s), {cache.misses} miss(es) "
+              f"under {cache.root}/")
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     json_path = None
-    if "--json" in argv:
-        flag = argv.index("--json")
-        try:
-            json_path = argv[flag + 1]
-        except IndexError:
-            print("--json needs a path")
-            return 2
-        argv = argv[:flag] + argv[flag + 2:]
-    selected = [a.lower() for a in argv] or list(EXPERIMENTS)
+    jobs = default_jobs()
+    root_seed = 0
+    use_cache = True
+    show_timings = False
+    names: list[str] = []
+
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg == "--json":
+            if index + 1 >= len(argv):
+                print("--json needs a path")
+                return 2
+            json_path = argv[index + 1]
+            index += 2
+        elif arg in ("--jobs", "--seed"):
+            if index + 1 >= len(argv):
+                print(f"{arg} needs an integer")
+                return 2
+            try:
+                value = int(argv[index + 1])
+            except ValueError:
+                print(f"{arg} needs an integer")
+                return 2
+            if arg == "--jobs":
+                jobs = max(1, value)
+            else:
+                root_seed = value
+            index += 2
+        elif arg == "--no-cache":
+            use_cache = False
+            index += 1
+        elif arg == "--timings":
+            show_timings = True
+            index += 1
+        else:
+            names.append(arg)
+            index += 1
+
+    selected = [a.lower() for a in names] or list(EXPERIMENTS)
     unknown = [name for name in selected if name not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}")
         print(f"available: {', '.join(EXPERIMENTS)}")
         return 2
-    collected = {}
-    for name in selected:
-        title, runner = EXPERIMENTS[name]
-        print(f"\n{'=' * 72}\n{name.upper()}: {title}\n{'=' * 72}")
-        started = time.time()
-        collected[name] = _jsonable(runner())
-        print(f"\n[{name} completed in {time.time() - started:.1f} s wall clock]")
+
+    cache = ResultCache() if use_cache else None
+    outcome = run_experiments(selected, jobs=jobs, cache=cache,
+                              root_seed=root_seed)
+
+    if show_timings:
+        _print_timings(outcome, cache)
     if json_path is not None:
+        payload = dict(outcome.values)
+        payload["_timings_s"] = {
+            name: round(wall, 6) for name, wall in outcome.timings_s.items()
+        }
         with open(json_path, "w") as handle:
-            json.dump(collected, handle, indent=2)
+            json.dump(payload, handle, indent=2)
         print(f"\nraw results written to {json_path}")
-    return 0
+    return 1 if outcome.failed else 0
 
 
 if __name__ == "__main__":

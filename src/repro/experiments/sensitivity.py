@@ -24,7 +24,8 @@ from ..sim.clock import MS
 from .report import fmt_ns, print_table
 from .testbed import build_bypass_testbed, build_lauberhorn_testbed
 
-__all__ = ["SensitivityPoint", "run_sensitivity"]
+__all__ = ["SensitivityPoint", "lauberhorn_rtt_at", "bypass_baseline_rtt",
+           "assemble_sensitivity", "render_sensitivity", "run_sensitivity"]
 
 HANDLER_COST = 500
 
@@ -50,7 +51,8 @@ def _machine_with_link_latency(one_way_ns: float):
     return dataclasses.replace(ENZIAN, interconnect=interconnect)
 
 
-def _lauberhorn_rtt(one_way_ns: float, n: int = 8) -> float:
+def lauberhorn_rtt_at(one_way_ns: float, n: int = 8) -> float:
+    """One sweep point: Lauberhorn RTT with the link at ``one_way_ns``."""
     bed = build_lauberhorn_testbed(params=_machine_with_link_latency(one_way_ns))
     service = bed.registry.create_service("s", udp_port=9000)
     method = bed.registry.add_method(service, "m", lambda a: [1],
@@ -65,7 +67,8 @@ def _lauberhorn_rtt(one_way_ns: float, n: int = 8) -> float:
     return _measure(bed, service, method, n)
 
 
-def _bypass_rtt(n: int = 8) -> float:
+def bypass_baseline_rtt(n: int = 8) -> float:
+    """The fixed PCIe-bypass baseline every sweep point compares against."""
     bed = build_bypass_testbed(params=ENZIAN_PCIE)
     service = bed.registry.create_service("s", udp_port=9000)
     method = bed.registry.add_method(service, "m", lambda a: [1],
@@ -98,38 +101,56 @@ def _measure(bed, service, method, n: int) -> float:
     return sum(steady) / len(steady)
 
 
-def run_sensitivity(
-    one_way_sweep=(125, 250, 350, 500, 700, 1000, 1400),
-    verbose: bool = True,
+def assemble_sensitivity(
+    one_way_sweep, lauberhorn_rtts, bypass_rtt,
 ) -> tuple[list[SensitivityPoint], Optional[float]]:
-    bypass_rtt = _bypass_rtt()
+    """Combine per-point RTTs into the sweep result + break-even point."""
     points = [
         SensitivityPoint(
             one_way_ns=float(one_way),
-            lauberhorn_rtt_ns=_lauberhorn_rtt(float(one_way)),
+            lauberhorn_rtt_ns=rtt,
             bypass_rtt_ns=bypass_rtt,
         )
-        for one_way in one_way_sweep
+        for one_way, rtt in zip(one_way_sweep, lauberhorn_rtts)
     ]
     break_even = next(
         (p.one_way_ns for p in points if not p.lauberhorn_wins), None
     )
+    return points, break_even
+
+
+def render_sensitivity(
+    points: list[SensitivityPoint], break_even: Optional[float]
+) -> None:
+    print_table(
+        ["coherent one-way", "lauberhorn RTT", "bypass/PCIe RTT", "winner"],
+        [
+            (fmt_ns(p.one_way_ns), fmt_ns(p.lauberhorn_rtt_ns),
+             fmt_ns(p.bypass_rtt_ns),
+             "lauberhorn" if p.lauberhorn_wins else "bypass")
+            for p in points
+        ],
+        title="Sensitivity — coherent-link latency vs the PCIe bypass "
+              "baseline (small RPC)",
+    )
+    if break_even is None:
+        print("\nLauberhorn wins across the whole sweep "
+              f"(up to {fmt_ns(points[-1].one_way_ns)} one-way).")
+    else:
+        print(f"\nbreak-even one-way latency ≈ {fmt_ns(break_even)} "
+              "(ECI is 350 ns; CXL 3.0 ~125 ns — ample headroom).")
+
+
+def run_sensitivity(
+    one_way_sweep=(125, 250, 350, 500, 700, 1000, 1400),
+    verbose: bool = True,
+) -> tuple[list[SensitivityPoint], Optional[float]]:
+    bypass_rtt = bypass_baseline_rtt()
+    points, break_even = assemble_sensitivity(
+        one_way_sweep,
+        [lauberhorn_rtt_at(float(one_way)) for one_way in one_way_sweep],
+        bypass_rtt,
+    )
     if verbose:
-        print_table(
-            ["coherent one-way", "lauberhorn RTT", "bypass/PCIe RTT", "winner"],
-            [
-                (fmt_ns(p.one_way_ns), fmt_ns(p.lauberhorn_rtt_ns),
-                 fmt_ns(p.bypass_rtt_ns),
-                 "lauberhorn" if p.lauberhorn_wins else "bypass")
-                for p in points
-            ],
-            title="Sensitivity — coherent-link latency vs the PCIe bypass "
-                  "baseline (small RPC)",
-        )
-        if break_even is None:
-            print("\nLauberhorn wins across the whole sweep "
-                  f"(up to {fmt_ns(points[-1].one_way_ns)} one-way).")
-        else:
-            print(f"\nbreak-even one-way latency ≈ {fmt_ns(break_even)} "
-                  "(ECI is 350 ns; CXL 3.0 ~125 ns — ample headroom).")
+        render_sensitivity(points, break_even)
     return points, break_even

@@ -31,7 +31,8 @@ from ..workloads.trace_replay import TraceReplayer, generate_trace
 from .report import fmt_ns, print_table
 from .testbed import build_lauberhorn_testbed, build_linux_testbed
 
-__all__ = ["ServerlessResult", "run_serverless"]
+__all__ = ["ServerlessResult", "measure_serverless_stack",
+           "render_serverless", "run_serverless"]
 
 HANDLER_COST = 2000  # a small function body
 BASE_PORT = 9000
@@ -79,6 +80,61 @@ def _replay(bed, targets, trace, n_serving: int):
     return replayer, summary, per_invocation
 
 
+def measure_serverless_stack(
+    stack: str,
+    n_functions: int = 24,
+    n_serving: int = 4,
+    duration_ms: float = 8.0,
+    rate_per_sec: float = 30_000,
+    seed: int = 0,
+) -> ServerlessResult:
+    """One point: replay the (seed-determined) trace against one stack."""
+    trace = generate_trace(
+        n_targets=n_functions,
+        duration_ns=duration_ms * MS,
+        mean_rate_per_sec=rate_per_sec,
+        seed=seed,
+    )
+    if stack == "linux":
+        bed = build_linux_testbed(n_queues=n_serving)
+        targets = _targets(bed, n_functions)
+        for index, target in enumerate(targets):
+            socket = bed.netstack.bind(target.service.udp_port)
+            process = bed.kernel.spawn_process(f"fn{index}")
+            bed.kernel.spawn_thread(
+                process, linux_udp_worker(socket, bed.registry),
+                pinned_core=index % n_serving,
+            )
+        replayer, summary, per_invocation = _replay(
+            bed, targets, trace, n_serving
+        )
+        return ServerlessResult(
+            "linux", n_functions, replayer.completed, summary.p50,
+            summary.p99, per_invocation, 1.0,
+        )
+    if stack == "lauberhorn":
+        bed = build_lauberhorn_testbed()
+        targets = _targets(bed, n_functions)
+        for index, target in enumerate(targets):
+            process = bed.kernel.spawn_process(f"fn{index}")
+            bed.nic.register_service(target.service, process.pid)
+            bed.nic.create_endpoint(EndpointKind.USER, service=target.service)
+        NicScheduler(
+            bed.kernel, bed.nic, bed.registry,
+            n_dispatchers=n_serving, promote=True,
+            dispatcher_cores=list(range(n_serving)),
+        )
+        replayer, summary, per_invocation = _replay(
+            bed, targets, trace, n_serving
+        )
+        return ServerlessResult(
+            "lauberhorn", n_functions, replayer.completed, summary.p50,
+            summary.p99, per_invocation,
+            bed.nic.telemetry.kernel_dispatch_fraction(),
+        )
+    raise ValueError(f"unknown stack {stack!r}")
+
+
 def run_serverless(
     n_functions: int = 24,
     n_serving: int = 4,
@@ -87,60 +143,29 @@ def run_serverless(
     seed: int = 0,
     verbose: bool = True,
 ) -> list[ServerlessResult]:
-    trace = generate_trace(
-        n_targets=n_functions,
-        duration_ns=duration_ms * MS,
-        mean_rate_per_sec=rate_per_sec,
-        seed=seed,
-    )
-    results: list[ServerlessResult] = []
-
-    # Linux.
-    bed = build_linux_testbed(n_queues=n_serving)
-    targets = _targets(bed, n_functions)
-    for index, target in enumerate(targets):
-        socket = bed.netstack.bind(target.service.udp_port)
-        process = bed.kernel.spawn_process(f"fn{index}")
-        bed.kernel.spawn_thread(
-            process, linux_udp_worker(socket, bed.registry),
-            pinned_core=index % n_serving,
-        )
-    replayer, summary, per_invocation = _replay(bed, targets, trace, n_serving)
-    results.append(ServerlessResult(
-        "linux", n_functions, replayer.completed, summary.p50, summary.p99,
-        per_invocation, 1.0,
-    ))
-
-    # Lauberhorn.
-    bed = build_lauberhorn_testbed()
-    targets = _targets(bed, n_functions)
-    for index, target in enumerate(targets):
-        process = bed.kernel.spawn_process(f"fn{index}")
-        bed.nic.register_service(target.service, process.pid)
-        bed.nic.create_endpoint(EndpointKind.USER, service=target.service)
-    NicScheduler(
-        bed.kernel, bed.nic, bed.registry,
-        n_dispatchers=n_serving, promote=True,
-        dispatcher_cores=list(range(n_serving)),
-    )
-    replayer, summary, per_invocation = _replay(bed, targets, trace, n_serving)
-    results.append(ServerlessResult(
-        "lauberhorn", n_functions, replayer.completed, summary.p50,
-        summary.p99, per_invocation,
-        bed.nic.telemetry.kernel_dispatch_fraction(),
-    ))
-
+    results = [
+        measure_serverless_stack(stack, n_functions, n_serving, duration_ms,
+                                 rate_per_sec, seed)
+        for stack in ("linux", "lauberhorn")
+    ]
     if verbose:
-        print_table(
-            ["stack", "functions", "invocations", "p50", "p99",
-             "busy/invoke", "cold-dispatch frac"],
-            [
-                (r.stack, r.n_functions, r.invocations, fmt_ns(r.p50_ns),
-                 fmt_ns(r.p99_ns), fmt_ns(r.busy_ns_per_invocation),
-                 f"{r.kernel_dispatch_fraction:.2f}")
-                for r in results
-            ],
-            title=f"Serverless consolidation — {n_functions} functions, "
-                  f"{n_serving} serving cores, Zipf+bursty trace",
-        )
+        render_serverless(results, n_serving)
     return results
+
+
+def render_serverless(
+    results: list[ServerlessResult], n_serving: int = 4
+) -> None:
+    n_functions = results[0].n_functions if results else 0
+    print_table(
+        ["stack", "functions", "invocations", "p50", "p99",
+         "busy/invoke", "cold-dispatch frac"],
+        [
+            (r.stack, r.n_functions, r.invocations, fmt_ns(r.p50_ns),
+             fmt_ns(r.p99_ns), fmt_ns(r.busy_ns_per_invocation),
+             f"{r.kernel_dispatch_fraction:.2f}")
+            for r in results
+        ],
+        title=f"Serverless consolidation — {n_functions} functions, "
+              f"{n_serving} serving cores, Zipf+bursty trace",
+    )

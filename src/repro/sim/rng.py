@@ -12,7 +12,22 @@ from __future__ import annotations
 import hashlib
 import random
 
-__all__ = ["RngRegistry"]
+__all__ = ["RngRegistry", "derive_seed"]
+
+
+def derive_seed(seed: int, *path: str) -> int:
+    """Derive a child seed from ``seed`` and a hierarchical ``path``.
+
+    The derivation is a pure function of its inputs (SHA-256 over the
+    seed and the path components), so a job scheduled on any worker, in
+    any order, with any level of parallelism sees the same seed.  The
+    experiment runner uses ``derive_seed(root, experiment_id, job_id)``
+    to give every point job an independent stream; ``RngRegistry.fork``
+    uses the same construction for per-trial reseeding.
+    """
+    material = ":".join([str(int(seed)), *path])
+    digest = hashlib.sha256(material.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 class RngRegistry:
@@ -34,5 +49,4 @@ class RngRegistry:
     def fork(self, salt: str) -> "RngRegistry":
         """Derive a child registry whose streams are all independent of
         this registry's streams (used for per-trial reseeding)."""
-        digest = hashlib.sha256(f"{self.seed}:fork:{salt}".encode()).digest()
-        return RngRegistry(int.from_bytes(digest[:8], "big"))
+        return RngRegistry(derive_seed(self.seed, "fork", salt))

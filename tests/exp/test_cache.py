@@ -1,0 +1,70 @@
+"""Cache keys, fingerprints, and invalidation rules."""
+
+from pathlib import Path
+
+import repro.experiments.sched_state
+from repro.exp.cache import ResultCache, code_fingerprint, module_closure
+from repro.exp.pool import JobSpec, execute_job
+
+
+def _spec(job_id="e7/main", experiment="e7",
+          fn="repro.experiments.model_check:run_model_check", seed=None,
+          **params):
+    return JobSpec.make(job_id, experiment, fn, seed=seed, **params)
+
+
+def test_module_closure_is_transitive():
+    closure = module_closure("repro.experiments.load_sweep")
+    assert "repro.experiments.load_sweep" in closure
+    assert "repro.experiments.testbed" in closure   # direct import
+    assert "repro.sim.engine" in closure            # transitive
+    runner_modules = {"repro.exp", "repro.exp.cache", "repro.exp.jobs",
+                      "repro.exp.pool"}
+    assert not (set(closure) & runner_modules), \
+        "runner modules must not invalidate experiment results"
+
+
+def test_store_then_lookup_roundtrip(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    spec = _spec()
+    assert cache.lookup(spec) is None
+    result = execute_job(spec)
+    assert result.ok
+    cache.store(spec, result)
+    hit = cache.lookup(spec)
+    assert hit is not None and hit.cached
+    assert hit.value == result.value
+    assert hit.stdout == result.stdout
+
+
+def test_key_changes_with_params_and_seed(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    base = _spec(fn="repro.experiments.report:fmt_ns", value_ns=1.0)
+    other_params = _spec(fn="repro.experiments.report:fmt_ns", value_ns=2.0)
+    other_seed = _spec(fn="repro.experiments.report:fmt_ns", seed=7,
+                       value_ns=1.0)
+    keys = {cache.key(base), cache.key(other_params), cache.key(other_seed)}
+    assert len(keys) == 3
+
+
+def test_code_change_invalidates_only_importers(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    touched = _spec(fn="repro.experiments.sched_state:run_sched_state",
+                    experiment="e8", job_id="e8/main")
+    untouched = _spec(fn="repro.experiments.model_check:run_model_check")
+    key_touched = cache.key(touched)
+    key_untouched = cache.key(untouched)
+
+    target = Path(repro.experiments.sched_state.__file__)
+    original = target.read_bytes()
+    try:
+        target.write_bytes(original + b"\n# fingerprint probe\n")
+        assert cache.key(touched) != key_touched
+        assert cache.key(untouched) == key_untouched
+    finally:
+        target.write_bytes(original)
+
+
+def test_fingerprint_stable_within_process():
+    assert (code_fingerprint("repro.experiments.model_check")
+            == code_fingerprint("repro.experiments.model_check"))
