@@ -2,26 +2,46 @@
 #   test               tier-1 suite (ROADMAP.md): pytest -x -q, stop on
 #                      first failure — the gate every PR must keep green
 #   test-fast          alias of the tier-1 command (kept for muscle memory)
+#   test-props         property tests only (replay, null-plan, fault matrix)
+#   test-faults        fault-injection + invariant-layer tests only
+#   regen-golden       re-record tests/golden/*.json (then review the diff!)
+#   coverage           src/repro line coverage (stdlib tracer) -> coverage.json
 #   bench-engine       sim-engine microbenchmarks -> BENCH_engine.json
 #   bench-engine-quick CI-sized engine smoke (seconds, not minutes)
 #   bench-runall       serial-vs-parallel + cold-vs-warm-cache wall clock
 #                      for the experiment runner -> BENCH_runall.json
-#   run-all            all 18 experiments, serial (bit-for-bit the
+#   run-all            all 19 experiments, serial (bit-for-bit the
 #                      historical output)
 #   run-all-par        the same artifact fanned out over REPRO_JOBS
 #                      workers (default 4); tables are identical
+#   run-all-faults     the artifact under the default fault plan (cache off)
 PYTHON ?= python
 export PYTHONPATH := src
 REPRO_JOBS ?= 4
+#: CI coverage gate; see .github/workflows/ci.yml for the recorded baseline
+COVER_MIN ?= 92
 
-.PHONY: test test-fast bench-engine bench-engine-quick bench-runall \
-	run-all run-all-par
+.PHONY: test test-fast test-props test-faults regen-golden coverage \
+	bench-engine bench-engine-quick bench-runall \
+	run-all run-all-par run-all-faults
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 test-fast:
 	$(PYTHON) -m pytest -x -q
+
+test-props:
+	$(PYTHON) -m pytest tests/properties -q
+
+test-faults:
+	$(PYTHON) -m pytest tests/faults tests/check tests/net/test_link_drops.py -q
+
+regen-golden:
+	$(PYTHON) tools/regen_golden.py
+
+coverage:
+	$(PYTHON) tools/coverage_gate.py --fail-under $(COVER_MIN) --report coverage.json
 
 # Engine microbenchmarks; writes BENCH_engine.json at the repo root so
 # successive PRs can track the events/sec trajectory.
@@ -40,3 +60,6 @@ run-all:
 
 run-all-par:
 	$(PYTHON) -m repro.experiments.run_all --jobs $(REPRO_JOBS)
+
+run-all-faults:
+	$(PYTHON) -m repro.experiments.run_all --faults

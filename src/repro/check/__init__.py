@@ -1,0 +1,25 @@
+"""Runtime invariant checks (see docs/faults.md).
+
+Public surface::
+
+    from repro.check import install_checks
+
+    reg = install_checks(bed)
+    reg.start(horizon_ns=HORIZON)
+    bed.sim.run(until=HORIZON)
+    reg.assert_clean()
+
+Checks are recorded, not raised mid-run; :meth:`assert_clean` raises
+:class:`InvariantViolation` with every recorded problem.  Nothing is
+installed (and nothing costs anything) unless a harness opts in.
+"""
+
+from .invariants import install_checks
+from .registry import CheckRegistry, InvariantViolation, Violation
+
+__all__ = [
+    "install_checks",
+    "CheckRegistry",
+    "InvariantViolation",
+    "Violation",
+]

@@ -25,6 +25,7 @@ from typing import Any, Callable, Optional
 
 from ..experiments import crossover as _crossover
 from ..experiments import dynamic_mix as _dynamic_mix
+from ..experiments import fault_sweep as _fault_sweep
 from ..experiments import four_stacks as _four_stacks
 from ..experiments import load_sweep as _load_sweep
 from ..experiments import sensitivity as _sensitivity
@@ -189,6 +190,25 @@ def _assemble_serverless(values: list[Any]) -> Any:
     return jsonable(results)
 
 
+def _fault_sweep_jobs(root_seed: int) -> list[JobSpec]:
+    return [
+        _seeded_spec(
+            f"e19/{stack}@{label}", "e19",
+            f"{_EXP}.fault_sweep:measure_fault_point",
+            _point_seed(root_seed, "e19", f"{stack}@{label}"),
+            stack=stack, label=label, loss_rate=loss, stall_rate=stall,
+        )
+        for stack in _four_stacks.STACKS
+        for (label, loss, stall) in _fault_sweep.FAULT_POINTS
+    ]
+
+
+def _assemble_fault_sweep(values: list[Any]) -> Any:
+    results = [_fault_sweep.FaultPoint(**v) for v in values]
+    _fault_sweep.render_fault_sweep(results)
+    return jsonable(results)
+
+
 def _sensitivity_jobs(root_seed: int) -> list[JobSpec]:
     jobs = [JobSpec.make(
         "e18/bypass", "e18", f"{_EXP}.sensitivity:bypass_baseline_rtt",
@@ -259,6 +279,8 @@ EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
                 _serverless_jobs, _assemble_serverless),
         _points("e18", "Sensitivity — coherent-link latency",
                 _sensitivity_jobs, _assemble_sensitivity),
+        _points("e19", "Fault sweep — invariants under injected faults",
+                _fault_sweep_jobs, _assemble_fault_sweep),
     ]
 }
 

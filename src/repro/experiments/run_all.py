@@ -1,4 +1,4 @@
-"""Run every experiment (E1-E18) and print the paper-shaped output.
+"""Run every experiment (E1-E19) and print the paper-shaped output.
 
 Usage::
 
@@ -8,6 +8,8 @@ Usage::
     python -m repro.experiments.run_all --jobs 4          # process pool
     python -m repro.experiments.run_all --no-cache        # force re-run
     python -m repro.experiments.run_all --timings         # per-job table
+    python -m repro.experiments.run_all --faults          # fault plan on
+    python -m repro.experiments.run_all --faults loss=0.01,stall=0.02
 
 The printed tables are the reproduction's equivalents of the paper's
 figures; EXPERIMENTS.md records a captured run next to the paper's own
@@ -27,14 +29,18 @@ count; re-runs only execute jobs whose key changed.
 from __future__ import annotations
 
 import json
+import os
 import sys
 
 from ..exp.cache import ResultCache
+from ..faults.context import ENV_VAR
+from ..faults.plan import FaultPlan
 from ..exp.jobs import EXPERIMENT_SPECS, run_experiments
 from ..exp.pool import default_jobs, jsonable as _jsonable
 from .ablation import run_crypto_ablation, run_deserialize_ablation
 from .crossover import run_crossover
 from .dynamic_mix import run_dynamic_mix
+from .fault_sweep import run_fault_sweep
 from .fig1_steps import run_fig1_steps
 from .fig2_roundtrip import run_fig2
 from .fig5_dispatch import run_fig5_dispatch
@@ -76,6 +82,7 @@ _SERIAL = {
     "e16": lambda: run_iommu_tax(),
     "e17": lambda: run_serverless(),
     "e18": lambda: run_sensitivity(),
+    "e19": lambda: run_fault_sweep(),
 }
 
 EXPERIMENTS = {
@@ -131,6 +138,23 @@ def main(argv: list[str] | None = None) -> int:
                 root_seed = value
             index += 2
         elif arg == "--no-cache":
+            use_cache = False
+            index += 1
+        elif arg == "--faults":
+            # Optional spec argument ("default,loss=0.05"); bare --faults
+            # means the default plan.  The plan travels to every testbed
+            # (and pool worker) via the REPRO_FAULTS env var; the result
+            # cache is keyed by code+params only, so fault runs bypass it.
+            spec = "default"
+            if index + 1 < len(argv) and "=" in argv[index + 1]:
+                spec = argv[index + 1]
+                index += 1
+            try:
+                FaultPlan.from_spec(spec)
+            except ValueError as error:
+                print(f"--faults: {error}")
+                return 2
+            os.environ[ENV_VAR] = spec
             use_cache = False
             index += 1
         elif arg == "--timings":

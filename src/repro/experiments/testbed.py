@@ -74,6 +74,18 @@ class Testbed:
         )
 
 
+def _finish_faults(bed: Testbed) -> None:
+    """Install wire/NIC-level fault injectors once all ports exist.
+
+    A no-op (not even an import of the injectors) unless the machine
+    was built under an active fault plan.
+    """
+    if getattr(bed.machine, "faults", None) is not None:
+        from ..faults.inject import install_testbed_faults
+
+        install_testbed_faults(bed)
+
+
 def _base(
     params: MachineParams,
     n_clients: int,
@@ -113,7 +125,7 @@ def build_linux_testbed(
     nic.attach_kernel(kernel)
     nic.start()
     kernel.start()
-    return Testbed(
+    bed = Testbed(
         machine=machine,
         switch=switch,
         nic=nic,
@@ -122,6 +134,8 @@ def build_linux_testbed(
         registry=ServiceRegistry(),
         clients=clients,
     )
+    _finish_faults(bed)
+    return bed
 
 
 def build_bypass_testbed(
@@ -146,7 +160,7 @@ def build_bypass_testbed(
         kernel.register_nic(nic)
         kernel.start()
     arp = {client.ip: client.mac for client in clients}
-    return Testbed(
+    bed = Testbed(
         machine=machine,
         switch=switch,
         nic=nic,
@@ -156,6 +170,8 @@ def build_bypass_testbed(
         clients=clients,
         user_netctx=UserNetContext(ip=SERVER_IP, mac=SERVER_MAC, arp=arp),
     )
+    _finish_faults(bed)
+    return bed
 
 
 def build_lauberhorn_testbed(
@@ -190,7 +206,7 @@ def build_lauberhorn_testbed(
     kernel.register_nic(nic)
     nic.start()
     kernel.start()
-    return Testbed(
+    bed = Testbed(
         machine=machine,
         switch=switch,
         nic=nic,
@@ -199,3 +215,5 @@ def build_lauberhorn_testbed(
         registry=registry,
         clients=clients,
     )
+    _finish_faults(bed)
+    return bed

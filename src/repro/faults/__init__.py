@@ -1,0 +1,49 @@
+"""Deterministic fault injection (see docs/faults.md).
+
+Public surface::
+
+    from repro.faults import FaultPlan, active
+
+    plan = FaultPlan.from_spec("default,loss=0.01")
+    with active(plan):
+        bed = build_linux_testbed()   # faults installed transparently
+
+Everything is seed-derived and per-instance; a zero plan (or no plan)
+is byte-identical to a build without this package.
+"""
+
+from .context import active, active_plan, set_active_plan
+from .inject import (
+    InjectionStats,
+    install_link_faults,
+    install_machine_faults,
+    install_nic_faults,
+    install_testbed_faults,
+)
+from .plan import (
+    CoherenceFaultConfig,
+    CoreFaultConfig,
+    FaultPlan,
+    LinkFaultConfig,
+    NicFaultConfig,
+    ProcessFaultConfig,
+)
+from .process import WorkerSupervisor
+
+__all__ = [
+    "FaultPlan",
+    "LinkFaultConfig",
+    "NicFaultConfig",
+    "CoreFaultConfig",
+    "CoherenceFaultConfig",
+    "ProcessFaultConfig",
+    "InjectionStats",
+    "WorkerSupervisor",
+    "active",
+    "active_plan",
+    "set_active_plan",
+    "install_machine_faults",
+    "install_testbed_faults",
+    "install_link_faults",
+    "install_nic_faults",
+]

@@ -1,0 +1,68 @@
+"""Ambient fault-plan propagation.
+
+Experiments are pure functions of (params, seed) that build their own
+machines and testbeds deep inside library code, so a fault plan cannot
+always be passed down explicitly.  Instead a plan can be made
+*ambient*:
+
+* :func:`active` — a context manager scoping a plan to a ``with``
+  block (what the test harnesses and ``fault_sweep`` use);
+* the ``REPRO_FAULTS`` environment variable — a
+  :meth:`~repro.faults.plan.FaultPlan.from_spec` string, which is how
+  ``run_all --faults`` reaches experiment jobs running in pool worker
+  *processes* (children inherit the environment).
+
+:class:`~repro.hw.machine.Machine` consults :func:`active_plan` at
+construction and the testbed builders finish the job (links, NIC,
+client retransmission).  With no plan set, both lookups are a couple
+of dict probes — nothing is installed and behaviour is byte-identical
+to a build that predates this module.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Optional
+
+from .plan import FaultPlan
+
+__all__ = ["ENV_VAR", "active", "active_plan", "set_active_plan"]
+
+ENV_VAR = "REPRO_FAULTS"
+
+_active: Optional[FaultPlan] = None
+#: memoised parse of the env var (spec string -> plan)
+_env_cache: tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+
+
+def set_active_plan(plan: Optional[FaultPlan]) -> None:
+    """Set (or clear, with ``None``) the process-wide ambient plan."""
+    global _active
+    _active = plan
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The ambient plan: explicit scope first, then ``REPRO_FAULTS``."""
+    if _active is not None:
+        return _active
+    global _env_cache
+    spec = os.environ.get(ENV_VAR)
+    if not spec:
+        return None
+    cached_spec, cached_plan = _env_cache
+    if spec != cached_spec:
+        _env_cache = (spec, FaultPlan.from_spec(spec))
+    return _env_cache[1]
+
+
+@contextmanager
+def active(plan: Optional[FaultPlan]):
+    """Scope ``plan`` as the ambient fault plan for a ``with`` block."""
+    global _active
+    previous = _active
+    _active = plan
+    try:
+        yield plan
+    finally:
+        _active = previous

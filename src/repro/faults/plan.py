@@ -1,0 +1,244 @@
+"""Fault plans: deterministic, seed-derived chaos configuration.
+
+A :class:`FaultPlan` is a frozen value object describing *what* can go
+wrong and *how often*, one sub-config per hardware domain:
+
+* :class:`LinkFaultConfig` — wire-level packet loss, single-bit
+  corruption, reordering (extra propagation delay), duplication;
+* :class:`NicFaultConfig` — descriptor-ring stalls and DMA delay
+  spikes in the device pipeline;
+* :class:`CoreFaultConfig` — execution hiccups (SMI-style pauses) and
+  frequency dips (a CPI multiplier);
+* :class:`CoherenceFaultConfig` — jitter on coherence-message timing;
+* :class:`ProcessFaultConfig` — crash/restart of server worker
+  threads (the serverless consolidation story).
+
+Every random decision an injector makes flows from
+:meth:`FaultPlan.rng`, which derives an independent stream per *path*
+via :func:`repro.sim.rng.derive_seed` — the same discipline the rest
+of the simulation uses, so fault schedules are bit-reproducible and
+adding an injector never perturbs another's stream.
+
+A domain whose rates are all zero is *inactive*: installers skip it
+entirely, so a zero :class:`FaultPlan` produces byte-identical results
+to running with no plan at all (pinned by
+``tests/properties/test_null_plan.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, fields
+
+from ..sim.rng import derive_seed
+
+__all__ = [
+    "LinkFaultConfig",
+    "NicFaultConfig",
+    "CoreFaultConfig",
+    "CoherenceFaultConfig",
+    "ProcessFaultConfig",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class LinkFaultConfig:
+    """Wire-level disturbances, applied per frame on every link."""
+
+    #: probability a frame silently vanishes on the wire
+    loss_rate: float = 0.0
+    #: probability one random bit of the frame flips in transit
+    corrupt_rate: float = 0.0
+    #: probability a frame is held back so later frames overtake it
+    reorder_rate: float = 0.0
+    #: probability a frame is delivered twice
+    duplicate_rate: float = 0.0
+    #: extra propagation delay for a reordered frame
+    reorder_delay_ns: float = 2_000.0
+
+    @property
+    def active(self) -> bool:
+        return (self.loss_rate > 0 or self.corrupt_rate > 0
+                or self.reorder_rate > 0 or self.duplicate_rate > 0)
+
+    @property
+    def lossy(self) -> bool:
+        """True when frames can fail to arrive intact (loss or
+        corruption) — the cases where clients need retransmission."""
+        return self.loss_rate > 0 or self.corrupt_rate > 0
+
+
+@dataclass(frozen=True)
+class NicFaultConfig:
+    """Device-pipeline disturbances (all NIC flavours)."""
+
+    #: probability the RX pipeline stalls before processing a frame
+    ring_stall_rate: float = 0.0
+    ring_stall_ns: float = 20_000.0
+    #: probability a DMA transfer takes an extra latency spike
+    dma_spike_rate: float = 0.0
+    dma_spike_ns: float = 5_000.0
+
+    @property
+    def active(self) -> bool:
+        return self.ring_stall_rate > 0 or self.dma_spike_rate > 0
+
+
+@dataclass(frozen=True)
+class CoreFaultConfig:
+    """CPU-side disturbances, applied per ``execute`` charge."""
+
+    #: probability an execute charge is preceded by a hiccup (SMI,
+    #: thermal throttle event, ...) of ``hiccup_ns`` of stall time
+    hiccup_rate: float = 0.0
+    hiccup_ns: float = 2_000.0
+    #: multiplier on instruction latency (> 1.0 models a frequency dip)
+    freq_dip_factor: float = 1.0
+
+    @property
+    def active(self) -> bool:
+        return self.hiccup_rate > 0 or self.freq_dip_factor != 1.0
+
+
+@dataclass(frozen=True)
+class CoherenceFaultConfig:
+    """Timing jitter on coherence fabric messages."""
+
+    #: probability any one fabric message is delayed by ``jitter_ns``
+    jitter_rate: float = 0.0
+    jitter_ns: float = 200.0
+
+    @property
+    def active(self) -> bool:
+        return self.jitter_rate > 0
+
+
+@dataclass(frozen=True)
+class ProcessFaultConfig:
+    """Crash/restart of supervised worker threads."""
+
+    #: mean time between crash attempts (exponential); 0 disables
+    crash_mean_ns: float = 0.0
+    #: delay before the supervisor respawns the worker
+    restart_delay_ns: float = 100_000.0
+
+    @property
+    def active(self) -> bool:
+        return self.crash_mean_ns > 0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The complete fault configuration for one simulation."""
+
+    seed: int = 0
+    link: LinkFaultConfig = field(default_factory=LinkFaultConfig)
+    nic: NicFaultConfig = field(default_factory=NicFaultConfig)
+    core: CoreFaultConfig = field(default_factory=CoreFaultConfig)
+    coherence: CoherenceFaultConfig = field(default_factory=CoherenceFaultConfig)
+    process: ProcessFaultConfig = field(default_factory=ProcessFaultConfig)
+
+    @property
+    def active(self) -> bool:
+        return (self.link.active or self.nic.active or self.core.active
+                or self.coherence.active or self.process.active)
+
+    def rng(self, *path) -> random.Random:
+        """An independent deterministic stream for one injector site."""
+        parts = [str(part) for part in path]
+        return random.Random(derive_seed(self.seed, "faults", *parts))
+
+    @classmethod
+    def default(cls, seed: int = 0) -> "FaultPlan":
+        """The ``--faults`` preset: every injector on at modest rates.
+
+        Rates are chosen so every experiment still *completes* (lost
+        traffic is recovered by client retransmission) while all the
+        paths the invariant layer guards are exercised.  Crash faults
+        stay off here — they need a supervised worker, which only the
+        fault-aware harnesses set up.
+        """
+        return cls(
+            seed=seed,
+            link=LinkFaultConfig(
+                loss_rate=0.002,
+                corrupt_rate=0.001,
+                reorder_rate=0.005,
+                duplicate_rate=0.002,
+            ),
+            nic=NicFaultConfig(ring_stall_rate=0.005, dma_spike_rate=0.005),
+            core=CoreFaultConfig(hiccup_rate=0.002),
+            coherence=CoherenceFaultConfig(jitter_rate=0.01),
+        )
+
+    # -- CLI/env spec parsing ------------------------------------------
+
+    _SPEC_KEYS = {
+        "seed": ("seed", int),
+        "loss": ("link.loss_rate", float),
+        "corrupt": ("link.corrupt_rate", float),
+        "reorder": ("link.reorder_rate", float),
+        "dup": ("link.duplicate_rate", float),
+        "reorder_ns": ("link.reorder_delay_ns", float),
+        "stall": ("nic.ring_stall_rate", float),
+        "stall_ns": ("nic.ring_stall_ns", float),
+        "spike": ("nic.dma_spike_rate", float),
+        "spike_ns": ("nic.dma_spike_ns", float),
+        "hiccup": ("core.hiccup_rate", float),
+        "hiccup_ns": ("core.hiccup_ns", float),
+        "dip": ("core.freq_dip_factor", float),
+        "jitter": ("coherence.jitter_rate", float),
+        "jitter_ns": ("coherence.jitter_ns", float),
+        "crash": ("process.crash_mean_ns", float),
+        "restart_ns": ("process.restart_delay_ns", float),
+    }
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse ``"loss=0.01,stall=0.02,seed=3"`` into a plan.
+
+        The literal ``"default"`` (optionally with overrides, e.g.
+        ``"default,loss=0.05"``) starts from :meth:`default`.
+        """
+        parts = [p.strip() for p in spec.split(",") if p.strip()]
+        base = cls()
+        if parts and parts[0] == "default":
+            base = cls.default()
+            parts = parts[1:]
+        overrides: dict[str, dict[str, object]] = {}
+        seed = base.seed
+        for part in parts:
+            key, sep, raw = part.partition("=")
+            if not sep:
+                raise ValueError(f"bad fault spec entry {part!r} (need key=value)")
+            try:
+                target, cast = cls._SPEC_KEYS[key]
+            except KeyError:
+                known = ", ".join(sorted(cls._SPEC_KEYS))
+                raise ValueError(
+                    f"unknown fault spec key {key!r}; known keys: {known}"
+                ) from None
+            value = cast(raw)
+            if target == "seed":
+                seed = value
+                continue
+            domain, attr = target.split(".")
+            overrides.setdefault(domain, {})[attr] = value
+
+        def rebuild(domain: str, current):
+            extra = overrides.get(domain)
+            if not extra:
+                return current
+            kwargs = {f.name: getattr(current, f.name) for f in fields(current)}
+            kwargs.update(extra)
+            return type(current)(**kwargs)
+
+        return cls(
+            seed=seed,
+            link=rebuild("link", base.link),
+            nic=rebuild("nic", base.nic),
+            core=rebuild("core", base.core),
+            coherence=rebuild("coherence", base.coherence),
+            process=rebuild("process", base.process),
+        )

@@ -1,0 +1,84 @@
+"""Process crash/restart injection (the serverless path).
+
+A :class:`WorkerSupervisor` owns one logical worker: it spawns the
+thread from a *factory* (so a fresh generator body exists per
+incarnation), kills it at seed-derived exponential intervals, and
+respawns it after the configured restart delay — the serverless
+cold-start the paper's consolidation argument (E17) cares about.
+
+Killing uses :meth:`repro.os.kernel.Kernel.kill_thread`, which refuses
+to kill a thread that is actively RUNNING an op (the supervisor simply
+retries at the next crash instant) — deterministic, and it never
+corrupts a core's dispatch loop mid-op.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from ..os.process import ThreadState
+from .plan import FaultPlan
+
+__all__ = ["WorkerSupervisor"]
+
+
+class WorkerSupervisor:
+    """Crash/restart supervision of one worker thread."""
+
+    def __init__(
+        self,
+        kernel,
+        factory: Callable[[], Generator],
+        plan: FaultPlan,
+        name: str = "worker",
+        pinned_core: Optional[int] = None,
+        process=None,
+        until_ns: Optional[float] = None,
+    ):
+        if not plan.process.active:
+            raise ValueError("plan has no process faults configured")
+        self.kernel = kernel
+        self.factory = factory
+        self.cfg = plan.process
+        self.rng = plan.rng("process", name)
+        self.name = name
+        self.pinned_core = pinned_core
+        self.process = process or kernel.spawn_process(name)
+        #: stop crashing after this sim time so runs can drain (None =
+        #: crash forever; only horizon-bounded runs should do that)
+        self.until_ns = until_ns
+        self.crashes = 0
+        self.restarts = 0
+        self.thread = self._spawn()
+        kernel.sim.process(self._crash_loop(), name=f"supervise-{name}")
+
+    def _spawn(self):
+        return self.kernel.spawn_thread(
+            self.process, self.factory(), name=self.name,
+            pinned_core=self.pinned_core,
+        )
+
+    def _crash_loop(self):
+        sim = self.kernel.sim
+        while True:
+            wait = self.rng.expovariate(1.0 / self.cfg.crash_mean_ns)
+            if self.until_ns is not None and sim.now + wait >= self.until_ns:
+                return
+            yield sim.timeout(wait)
+            thread = self.thread
+            if thread.state is ThreadState.DONE:
+                # Worker exited on its own (bounded workloads): restart
+                # it only if it died to one of our crashes; a normal
+                # exit ends supervision.
+                return
+            if not self.kernel.kill_thread(thread):
+                continue  # RUNNING right now; try again next interval
+            self.crashes += 1
+            stats = getattr(self.kernel.machine, "fault_stats", None)
+            if stats is not None:
+                stats.crashes += 1
+            yield sim.timeout(self.cfg.restart_delay_ns)
+            self.thread = self._spawn()
+            self.restarts += 1
+            if stats is not None:
+                stats.restarts += 1

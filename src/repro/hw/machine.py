@@ -31,6 +31,7 @@ class Machine:
         seed: int = 0,
         trace: bool = True,
         sim: Optional[Simulator] = None,
+        faults=None,
     ):
         self.params = params
         # Multi-machine setups share one simulator (one virtual clock).
@@ -55,6 +56,20 @@ class Machine:
             )
             for core_id in range(params.n_cores)
         ]
+        # Fault injection: an explicit plan wins; otherwise consult the
+        # ambient one (repro.faults.active / the REPRO_FAULTS env var).
+        # A machine built with no plan anywhere carries faults=None and
+        # executes exactly the pre-fault code paths.
+        if faults is None:
+            from ..faults.context import active_plan
+
+            faults = active_plan()
+        self.faults = faults if faults is not None and faults.active else None
+        self.fault_stats = None
+        if self.faults is not None:
+            from ..faults.inject import install_machine_faults
+
+            install_machine_faults(self, self.faults)
 
     @property
     def coherent(self) -> bool:

@@ -26,7 +26,19 @@ __all__ = ["LinkStats", "Link", "SwitchFabric", "Port"]
 class LinkStats:
     frames: int = 0
     bytes: int = 0
+    delivered: int = 0
     dropped: int = 0
+    dropped_bytes: int = 0
+    #: frames destroyed/mutated by an installed fault injector
+    fault_lost: int = 0
+    fault_corrupted: int = 0
+    fault_reordered: int = 0
+    fault_duplicated: int = 0
+
+    def in_flight(self) -> int:
+        """Frames transmitted but not yet delivered, dropped, or lost."""
+        return (self.frames + self.fault_duplicated
+                - self.delivered - self.dropped - self.fault_lost)
 
 
 class Link:
@@ -48,6 +60,10 @@ class Link:
         self.name = name
         self.stats = LinkStats()
         self.rx_queue: Store = Store(sim, capacity=queue_frames, name=f"{name}.rx")
+        #: optional fault injector (repro.faults.LinkFaultInjector)
+        self.fault = None
+        #: optional drop observer: ``on_drop(link, frame, reason)``
+        self.on_drop: Optional[Callable[["Link", Frame, str], None]] = None
         #: next time the transmitter is free (models serialisation).
         self._tx_free_at = 0.0
 
@@ -68,13 +84,29 @@ class Link:
         self.stats.frames += 1
         self.stats.bytes += frame.wire_bytes
 
+        if self.fault is None:
+            self._spawn_delivery(frame, self.propagation_ns)
+        else:
+            for fated, extra_ns in self.fault.fate(self, frame):
+                self._spawn_delivery(fated, self.propagation_ns + extra_ns)
+        return None
+
+    def count_drop(self, frame: Frame, reason: str) -> None:
+        """Account one dropped frame and surface it to any observer."""
+        self.stats.dropped += 1
+        self.stats.dropped_bytes += frame.wire_bytes
+        if self.on_drop is not None:
+            self.on_drop(self, frame, reason)
+
+    def _spawn_delivery(self, frame: Frame, delay_ns: float) -> None:
         def deliver():
-            yield self.sim.timeout(self.propagation_ns)
-            if not self.rx_queue.try_put(frame):
-                self.stats.dropped += 1
+            yield self.sim.timeout(delay_ns)
+            if self.rx_queue.try_put(frame):
+                self.stats.delivered += 1
+            else:
+                self.count_drop(frame, "queue-full")
 
         self.sim.process(deliver())
-        return None
 
     def receive(self):
         """Generator yielding until a frame is available; returns it."""

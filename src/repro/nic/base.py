@@ -41,6 +41,9 @@ class BaseNic:
         self.port = port
         self.name = name
         self.stats = NicStats()
+        #: optional fault hook (a zero-arg generator factory) run by the
+        #: RX loop per received frame; installed by repro.faults
+        self.rx_fault = None
         self._tx_engine: Store = Store(self.sim, name=f"{name}.txq")
         self._started = False
 

@@ -87,6 +87,8 @@ class BypassNic(BaseNic):
         while True:
             frame = yield from self.port.receive()
             self.stats.rx_frames += 1
+            if self.rx_fault is not None:
+                yield from self.rx_fault()
             yield self.sim.timeout(self.params.parse_ns + self.params.demux_ns)
             queue = self._classify(frame)
             if len(queue.ring) >= queue.capacity:

@@ -91,6 +91,8 @@ class DmaNic(BaseNic):
         while True:
             frame = yield from self.port.receive()
             self.stats.rx_frames += 1
+            if self.rx_fault is not None:
+                yield from self.rx_fault()
             # Device pipeline: header decode + RSS demux.
             yield self.sim.timeout(self.params.parse_ns + self.params.demux_ns)
             queue = self._classify(frame)

@@ -65,6 +65,9 @@ class InflightRequest:
 
 @dataclass
 class EndpointStats:
+    #: CPU loads observed on this end-point's CONTROL lines; each must
+    #: be answered exactly once (deliver/Tryagain/Retire) or be parked
+    ctrl_loads: int = 0
     delivered: int = 0
     completed: int = 0
     tryagains: int = 0

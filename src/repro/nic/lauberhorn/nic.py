@@ -240,6 +240,7 @@ class LauberhornNic(BaseNic, HomeDevice):
 
     def _ctrl_fill_fsm(self, ep: Endpoint, core_id: int, parity: int, event: Event):
         """React to a CPU load on CONTROL[parity] of ``ep``."""
+        ep.stats.ctrl_loads += 1
         inflight = ep.inflight
         if inflight is not None and parity != inflight.parity:
             # Completion signal: issue the fetch-exclusive *before*
@@ -261,6 +262,8 @@ class LauberhornNic(BaseNic, HomeDevice):
             # single-consumer by design): bounce it with Tryagain rather
             # than stranding the first core's parked fill.
             yield self.sim.timeout(self.params.compose_line_ns)
+            ep.stats.tryagains += 1
+            self.lstats.tryagains += 1
             event.succeed(
                 FillResponse(data=wire.tryagain_line(self.line_bytes))
             )
@@ -558,6 +561,8 @@ class LauberhornNic(BaseNic, HomeDevice):
         while True:
             frame = yield from self.port.receive()
             self.stats.rx_frames += 1
+            if self.rx_fault is not None:
+                yield from self.rx_fault()
             yield self.sim.timeout(self.params.parse_ns + self.params.demux_ns)
             try:
                 parsed = parse_udp_frame(frame)

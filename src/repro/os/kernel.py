@@ -163,6 +163,32 @@ class Kernel:
         thread.resume_value = value
         self._make_runnable(thread)
 
+    def kill_thread(self, thread: OsThread) -> bool:
+        """Forcibly terminate ``thread`` (fault injection / supervision).
+
+        Returns True when the thread was torn down, False when it could
+        not be killed *right now*: a RUNNING thread is mid-op on a core
+        (killing it would corrupt the core's dispatch loop — callers
+        retry later), and a READY thread caught in the dequeue-to-run
+        window is treated the same way.  A killed thread's pending wake
+        callbacks are neutered by the DONE state, its exit event fires
+        (with None), and its body generator is closed so ``finally``
+        blocks run.
+        """
+        if thread.state is ThreadState.DONE:
+            return False
+        if thread.state is ThreadState.RUNNING:
+            return False
+        if thread.state is ThreadState.READY:
+            if not self.scheduler.remove(thread):
+                return False  # being dispatched right now; retry later
+        thread.state = ThreadState.DONE
+        thread.exit_value = None
+        if thread.exit_event is not None and not thread.exit_event.triggered:
+            thread.exit_event.succeed(None)
+        thread.body.close()
+        return True
+
     def _make_runnable(self, thread: OsThread) -> None:
         core_id = self.scheduler.enqueue(thread)
         self._kick_core(core_id)

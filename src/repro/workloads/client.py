@@ -60,6 +60,15 @@ class ClientNode:
         self._pending: dict[int, tuple[float, Sequence[Any], Event]] = {}
         self.unmatched_responses = 0
         self.parse_errors = 0
+        #: when set (fault runs with a lossy wire), a watchdog
+        #: retransmits each request until its response arrives, so
+        #: closed-loop drivers survive frame loss.  None (the default)
+        #: spawns no watchdog at all — the loss-free timeline is
+        #: byte-identical to a client without this feature.
+        self.retry_timeout_ns: Optional[float] = None
+        self.max_retries = 16
+        self.retries = 0
+        self.give_ups = 0
         sim.process(self._rx_loop(), name=f"{name}-rx")
 
     # -- sending ----------------------------------------------------------------
@@ -92,7 +101,29 @@ class ClientNode:
         done = Event(self.sim)
         self._pending[request_id] = (self.sim.now, list(args), done)
         self.sim.process(self.port.send(frame))
+        if self.retry_timeout_ns is not None:
+            self.sim.process(
+                self._retry_watchdog(request_id, frame),
+                name=f"{self.name}-retry-{request_id}",
+            )
         return done
+
+    def _retry_watchdog(self, request_id: int, frame):
+        """Retransmit ``frame`` until its response arrives (fault runs).
+
+        The server side is idempotent from the client's point of view:
+        a duplicate response is dropped by the pending-table pop, so
+        retransmitting on a timeout is always safe.
+        """
+        for _attempt in range(self.max_retries):
+            yield self.sim.timeout(self.retry_timeout_ns)
+            if request_id not in self._pending:
+                return None
+            self.retries += 1
+            yield from self.port.send(frame)
+        if request_id in self._pending:
+            self.give_ups += 1
+        return None
 
     def call(
         self,

@@ -1,0 +1,72 @@
+"""CheckRegistry mechanics: recording, sampling, quiesce, capping."""
+
+import math
+
+import pytest
+
+from repro.check import CheckRegistry, InvariantViolation
+from repro.sim.engine import Simulator
+
+
+def test_clean_registry_asserts_clean():
+    sim = Simulator()
+    reg = CheckRegistry(sim)
+    reg.add("ok", lambda: [])
+    reg.add_quiesce("ok-q", lambda drained: None)
+    reg.assert_clean()
+    assert reg.finished
+
+
+def test_violations_collected_not_raised_until_assert():
+    sim = Simulator()
+    reg = CheckRegistry(sim)
+    reg.add("a", lambda: ["first problem"])
+    reg.add("b", lambda: ["second problem"])
+    reg.check_now()  # must not raise
+    assert len(reg.violations) == 2
+    with pytest.raises(InvariantViolation) as excinfo:
+        reg.assert_clean()
+    message = str(excinfo.value)
+    assert "first problem" in message and "second problem" in message
+
+
+def test_violation_cap_prevents_unbounded_growth():
+    from repro.check.registry import MAX_VIOLATIONS
+
+    sim = Simulator()
+    reg = CheckRegistry(sim)
+    reg.add("noisy", lambda: ["boom"] * 50)
+    for _ in range(20):
+        reg.check_now()
+    assert len(reg.violations) == MAX_VIOLATIONS
+
+
+def test_sampler_is_bounded_by_horizon():
+    sim = Simulator()
+    reg = CheckRegistry(sim, interval_ns=1000.0)
+    reg.start(horizon_ns=10_500.0)
+    sim.run(until=1_000_000.0)
+    # The sampler must not outlive the horizon (else runs never drain).
+    assert sim.peek() == math.inf
+    assert reg.samples == 10
+
+
+def test_quiesce_sees_drained_flag():
+    sim = Simulator()
+    seen = []
+    reg = CheckRegistry(sim)
+    reg.add_quiesce("probe", lambda drained: seen.append(drained) or [])
+    reg.finish()
+    assert seen == [True]
+
+    sim2 = Simulator()
+    def ticker():
+        while True:
+            yield sim2.timeout(100.0)
+    sim2.process(ticker())
+    sim2.run(until=1000.0)
+    reg2 = CheckRegistry(sim2)
+    seen2 = []
+    reg2.add_quiesce("probe", lambda drained: seen2.append(drained) or [])
+    reg2.finish()
+    assert seen2 == [False]

@@ -1,0 +1,128 @@
+"""Unit tests for the fault plan and the per-domain injectors."""
+
+import pytest
+
+from repro.faults import FaultPlan, InjectionStats
+from repro.faults.inject import LinkFaultInjector, install_link_faults
+from repro.net.headers import MacAddress
+from repro.net.link import Link
+from repro.net.packet import build_udp_frame
+from repro.sim.engine import Simulator
+
+
+def _frame(i=0):
+    return build_udp_frame(
+        src_mac=MacAddress.from_string("02:00:00:00:00:01"),
+        dst_mac=MacAddress.from_string("02:00:00:00:00:02"),
+        src_ip=1, dst_ip=2, src_port=1000, dst_port=2000,
+        payload=bytes([i % 256]) * 32, born_ns=0.0,
+    )
+
+
+# -- plan / spec parsing -------------------------------------------------
+
+
+def test_zero_plan_is_inactive():
+    plan = FaultPlan()
+    assert not plan.active
+    for domain in (plan.link, plan.nic, plan.core, plan.coherence,
+                   plan.process):
+        assert not domain.active
+
+
+def test_default_plan_is_active_everywhere_but_process():
+    plan = FaultPlan.default()
+    assert plan.active
+    assert plan.link.active and plan.link.lossy
+    assert plan.nic.active and plan.core.active and plan.coherence.active
+    assert not plan.process.active  # needs a supervised worker
+
+
+def test_from_spec_overrides_default():
+    plan = FaultPlan.from_spec("default,loss=0.5,seed=9")
+    assert plan.seed == 9
+    assert plan.link.loss_rate == 0.5
+    # untouched default rates survive
+    assert plan.link.reorder_rate == FaultPlan.default().link.reorder_rate
+
+
+@pytest.mark.parametrize("spec", ["loss", "bogus=1", "loss=x"])
+def test_from_spec_rejects_bad_entries(spec):
+    with pytest.raises(ValueError):
+        FaultPlan.from_spec(spec)
+
+
+def test_rng_streams_are_independent_and_deterministic():
+    plan = FaultPlan(seed=5)
+    a1 = [plan.rng("link", "p0").random() for _ in range(3)]
+    a2 = [plan.rng("link", "p0").random() for _ in range(3)]
+    b = [plan.rng("link", "p1").random() for _ in range(3)]
+    assert a1 == a2
+    assert a1 != b
+
+
+# -- link injector -------------------------------------------------------
+
+
+def _injector(sim, **rates):
+    plan = FaultPlan.from_spec(
+        ",".join(f"{k}={v}" for k, v in rates.items()) or "loss=0"
+    )
+    link = Link(sim, name="t")
+    stats = InjectionStats()
+    install_link_faults(link, plan, stats, "t")
+    return link, stats
+
+
+def test_loss_only_counts_fault_lost_not_dropped():
+    sim = Simulator()
+    link, stats = _injector(sim, loss=1.0)
+    dropped = []
+    link.on_drop = lambda _link, frame, reason: dropped.append(reason)
+    assert link.fault.fate(link, _frame()) == ()
+    assert stats.frames_lost == 1
+    assert link.stats.fault_lost == 1
+    assert link.stats.dropped == 0
+    assert dropped == ["fault-loss"]
+
+
+def test_corruption_flips_exactly_one_bit():
+    sim = Simulator()
+    link, stats = _injector(sim, corrupt=1.0)
+    frame = _frame()
+    (fated, extra), = link.fault.fate(link, frame)
+    assert extra == 0.0
+    assert len(fated.data) == len(frame.data)
+    diff = [a ^ b for a, b in zip(fated.data, frame.data) if a != b]
+    assert len(diff) == 1 and diff[0].bit_count() == 1
+    assert stats.frames_corrupted == 1
+
+
+def test_duplicate_produces_two_identical_deliveries():
+    sim = Simulator()
+    link, stats = _injector(sim, dup=1.0)
+    frame = _frame()
+    fates = link.fault.fate(link, frame)
+    assert len(fates) == 2
+    assert fates[0][0] is frame and fates[1][0] is frame
+    assert stats.frames_duplicated == 1
+
+
+def test_reorder_adds_extra_delay():
+    sim = Simulator()
+    link, stats = _injector(sim, reorder=1.0, reorder_ns=777.0)
+    (fated, extra), = link.fault.fate(link, _frame())
+    assert extra == 777.0
+    assert stats.frames_reordered == 1
+
+
+def test_fate_schedule_is_seed_deterministic():
+    sim = Simulator()
+    outcomes = []
+    for _round in range(2):
+        link, _stats = _injector(sim, loss=0.3, dup=0.3, reorder=0.3)
+        outcomes.append(
+            [len(link.fault.fate(link, _frame(i))) for i in range(50)]
+        )
+    assert outcomes[0] == outcomes[1]
+    assert set(outcomes[0]) >= {0, 1, 2}  # loss, pass, duplicate all occur

@@ -1,0 +1,140 @@
+"""Crash/restart injection: kill_thread semantics and supervision."""
+
+import pytest
+
+from repro.experiments.four_stacks import HANDLER_COST
+from repro.experiments.testbed import build_linux_testbed
+from repro.faults import FaultPlan, WorkerSupervisor, active
+from repro.os import ops
+from repro.os.process import ThreadState
+from repro.rpc.server import linux_udp_worker
+from repro.sim.engine import Event
+
+
+# -- Kernel.kill_thread --------------------------------------------------
+
+
+def test_kill_queued_ready_thread():
+    bed = build_linux_testbed()
+
+    def body():
+        yield ops.Exec(100)
+
+    thread = bed.kernel.spawn_thread(bed.kernel.spawn_process("p"), body())
+    assert thread.state is ThreadState.READY
+    assert bed.kernel.kill_thread(thread)
+    assert thread.state is ThreadState.DONE
+    assert thread.exit_event.triggered
+    assert bed.kernel.scheduler.total_queued() == 0
+    # idempotent: a dead thread cannot be killed again
+    assert not bed.kernel.kill_thread(thread)
+
+
+def test_kill_blocked_thread_neuters_pending_wake():
+    bed = build_linux_testbed()
+    gate = Event(bed.sim)
+    reached = []
+
+    def body():
+        yield ops.Block(event=gate)
+        reached.append(True)
+
+    thread = bed.kernel.spawn_thread(bed.kernel.spawn_process("p"), body())
+    bed.sim.run(until=bed.sim.timeout(50_000))
+    assert thread.state is ThreadState.BLOCKED
+    assert bed.kernel.kill_thread(thread)
+    assert thread.state is ThreadState.DONE
+    # The event the dead thread was blocked on fires later: the wake
+    # must be swallowed, not raise or resurrect the thread.
+    gate.succeed(None)
+    bed.sim.run(until=bed.sim.timeout(50_000))
+    assert thread.state is ThreadState.DONE
+    assert reached == []
+
+
+def test_kill_runs_finally_blocks():
+    bed = build_linux_testbed()
+    cleaned = []
+    gate = Event(bed.sim)
+
+    def body():
+        try:
+            yield ops.Block(event=gate)
+        finally:
+            cleaned.append(True)
+
+    thread = bed.kernel.spawn_thread(bed.kernel.spawn_process("p"), body())
+    bed.sim.run(until=bed.sim.timeout(50_000))
+    assert bed.kernel.kill_thread(thread)
+    assert cleaned == [True]
+
+
+# -- WorkerSupervisor ----------------------------------------------------
+
+
+def test_supervisor_requires_process_faults():
+    bed = build_linux_testbed()
+    with pytest.raises(ValueError):
+        WorkerSupervisor(bed.kernel, lambda: iter(()), FaultPlan())
+
+
+def test_supervised_worker_crashes_restarts_and_keeps_serving():
+    plan = FaultPlan.from_spec("crash=2000000,restart_ns=100000,seed=4")
+    with active(plan):
+        bed = build_linux_testbed()
+    service = bed.registry.create_service("echo", udp_port=9000)
+    method = bed.registry.add_method(service, "m", lambda a: list(a),
+                                     cost_instructions=HANDLER_COST)
+    socket = bed.netstack.bind(9000)
+    horizon = 40_000_000.0
+    supervisor = WorkerSupervisor(
+        bed.kernel,
+        lambda: linux_udp_worker(socket, bed.registry),
+        plan,
+        name="srv",
+        until_ns=horizon,
+    )
+
+    client = bed.clients[0]
+    client.retry_timeout_ns = 500_000.0  # recover requests a crash ate
+    completed = [0]
+
+    def driver():
+        yield bed.sim.timeout(10_000)
+        for i in range(40):
+            event = client.send_request(
+                bed.server_mac, bed.server_ip, service.udp_port,
+                service.service_id, method.method_id, [i],
+            )
+            event.add_callback(
+                lambda _ev: completed.__setitem__(0, completed[0] + 1)
+            )
+            yield bed.sim.timeout(400_000)
+
+    bed.sim.process(driver())
+    bed.machine.run(until=horizon)
+
+    assert supervisor.crashes > 0
+    assert supervisor.restarts > 0
+    assert bed.machine.fault_stats.crashes == supervisor.crashes
+    # Service availability: restarts keep the vast majority flowing.
+    assert completed[0] >= 35
+
+
+def test_supervised_crash_schedule_replays():
+    def run():
+        plan = FaultPlan.from_spec("crash=1500000,seed=11")
+        with active(plan):
+            bed = build_linux_testbed()
+        socket = bed.netstack.bind(9000)
+        horizon = 20_000_000.0
+        supervisor = WorkerSupervisor(
+            bed.kernel,
+            lambda: linux_udp_worker(socket, bed.registry),
+            plan, name="srv", until_ns=horizon,
+        )
+        bed.machine.run(until=horizon)
+        return supervisor.crashes, supervisor.restarts
+
+    assert run() == run()
+    assert run()[0] > 0

@@ -1,0 +1,84 @@
+"""Golden regression corpus: E1-E18 at the default seed, frozen.
+
+Every deterministic experiment's structured results are pinned to
+``tests/golden/<name>.json``.  Any code change that shifts any number
+in any table fails here with a readable per-path diff — which is the
+point: behaviour changes must be *intentional*, reviewed via
+``make regen-golden`` and a git diff of the JSON.
+"""
+
+import io
+import json
+import pathlib
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.exp.jobs import run_experiments
+
+GOLDEN_DIR = pathlib.Path(__file__).parent
+GOLDEN_EXPERIMENTS = tuple(f"e{i}" for i in range(1, 19))
+
+_MAX_DIFFS_SHOWN = 12
+
+
+def _diff_paths(expected, actual, path="", out=None):
+    """Collect human-readable 'path: expected != actual' lines."""
+    if out is None:
+        out = []
+    if len(out) >= _MAX_DIFFS_SHOWN:
+        return out
+    if type(expected) is not type(actual):
+        out.append(f"{path or '<root>'}: type {type(expected).__name__} "
+                   f"-> {type(actual).__name__}")
+    elif isinstance(expected, dict):
+        for key in expected.keys() | actual.keys():
+            if key not in actual:
+                out.append(f"{path}.{key}: missing from new results")
+            elif key not in expected:
+                out.append(f"{path}.{key}: new key (not in golden)")
+            else:
+                _diff_paths(expected[key], actual[key], f"{path}.{key}", out)
+    elif isinstance(expected, list):
+        if len(expected) != len(actual):
+            out.append(f"{path}: length {len(expected)} -> {len(actual)}")
+        for index, (e, a) in enumerate(zip(expected, actual)):
+            _diff_paths(e, a, f"{path}[{index}]", out)
+    elif expected != actual:
+        out.append(f"{path or '<root>'}: {expected!r} -> {actual!r}")
+    return out
+
+
+@pytest.fixture(scope="module")
+def fresh_values():
+    """One serial, cache-free run of all golden experiments."""
+    with redirect_stdout(io.StringIO()):
+        outcome = run_experiments(list(GOLDEN_EXPERIMENTS), jobs=1,
+                                  cache=None, root_seed=0)
+    assert not outcome.failed, "experiment job failed; see job results"
+    # Round-trip through JSON so float/tuple representations match the
+    # files exactly.
+    return {
+        name: json.loads(json.dumps(value, sort_keys=True))
+        for name, value in outcome.values.items()
+    }
+
+
+@pytest.mark.parametrize("name", GOLDEN_EXPERIMENTS)
+def test_experiment_matches_golden(name, fresh_values):
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), (
+        f"{path} missing — run `make regen-golden` to create the corpus"
+    )
+    golden = json.loads(path.read_text())
+    actual = fresh_values[name]
+    if golden == actual:
+        return
+    diffs = _diff_paths(golden, actual)
+    shown = "\n".join(f"  {line}" for line in diffs[:_MAX_DIFFS_SHOWN])
+    pytest.fail(
+        f"{name} results diverged from tests/golden/{name}.json "
+        f"({len(diffs)}+ difference(s)):\n{shown}\n"
+        "If this change is intentional, regenerate with `make regen-golden` "
+        "and review the JSON diff."
+    )

@@ -1,0 +1,47 @@
+"""Property: a zero FaultPlan is indistinguishable from no plan.
+
+The injectors promise to be strictly additive: a plan whose domains
+are all inactive must install *nothing*, so a run under it is
+byte-identical to a run that never imported the faults package.  This
+is what keeps `--faults` safe to ship: the un-faulted numbers (and the
+golden corpus, and BENCH_engine) cannot shift.
+"""
+
+import pytest
+
+from repro.exp.pool import jsonable
+from repro.experiments.four_stacks import STACKS, _build_stack, measure_stack
+from repro.faults import FaultPlan, active
+
+
+@pytest.mark.parametrize("stack", STACKS)
+def test_zero_plan_results_identical(stack):
+    baseline = jsonable(measure_stack(stack, n_requests=10))
+    with active(FaultPlan()):
+        under_zero_plan = jsonable(measure_stack(stack, n_requests=10))
+    assert baseline == under_zero_plan
+
+
+def test_zero_plan_installs_nothing():
+    with active(FaultPlan()):
+        bed, _service, _method = _build_stack("linux")
+    assert bed.machine.faults is None
+    assert bed.machine.fault_stats is None
+    assert bed.nic.rx_fault is None
+    for port in bed.switch.ports.values():
+        assert port.ingress.fault is None
+        assert port.egress.fault is None
+    for client in bed.clients:
+        assert client.retry_timeout_ns is None
+
+
+def test_default_plan_installs_everything():
+    with active(FaultPlan.default()):
+        bed, _service, _method = _build_stack("linux")
+    assert bed.machine.faults is not None
+    assert bed.nic.rx_fault is not None
+    for port in bed.switch.ports.values():
+        assert port.ingress.fault is not None
+        assert port.egress.fault is not None
+    for client in bed.clients:
+        assert client.retry_timeout_ns is not None

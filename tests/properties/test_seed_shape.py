@@ -1,0 +1,56 @@
+"""Property: changing the root seed changes numbers, never shape.
+
+The golden corpus pins exact values at root seed 0; this pins the
+complementary property for *every other* seed: the structured results
+keep exactly the same shape (same keys, same list lengths, same leaf
+types), so downstream consumers — the table renderers, the JSON dump,
+the golden differ — work for any seed.
+"""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.exp.jobs import run_experiments
+from repro.exp.pool import jsonable
+
+#: seed-accepting sweep experiments, one cheap representative each of
+#: the point-job families (mix, serverless, fault sweep)
+_SHAPED = ("e4", "e17")
+
+
+def shape_of(value):
+    """Recursive structural fingerprint: keys/lengths/types, no values."""
+    if isinstance(value, dict):
+        return {key: shape_of(val) for key, val in sorted(value.items())}
+    if isinstance(value, list):
+        return [shape_of(item) for item in value]
+    return type(value).__name__
+
+
+def _run(names, root_seed):
+    with redirect_stdout(io.StringIO()):
+        outcome = run_experiments(list(names), jobs=1, cache=None,
+                                  root_seed=root_seed)
+    assert not outcome.failed
+    return outcome.values
+
+
+@pytest.mark.parametrize("root_seed", [1, 12345])
+def test_reseeded_experiments_keep_golden_shape(root_seed):
+    seeded = _run(_SHAPED, root_seed)
+    baseline = _run(_SHAPED, 0)
+    for name in _SHAPED:
+        assert shape_of(seeded[name]) == shape_of(baseline[name]), name
+
+
+def test_reseeded_fault_sweep_keeps_shape_and_invariants():
+    from repro.experiments.fault_sweep import measure_fault_point
+
+    base = jsonable(measure_fault_point("lauberhorn", "storm", 0.02, 0.02,
+                                        seed=0, n_requests=30))
+    other = jsonable(measure_fault_point("lauberhorn", "storm", 0.02, 0.02,
+                                         seed=99, n_requests=30))
+    assert shape_of(base) == shape_of(other)
+    assert other["violations"] == 0

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Line-coverage measurement and CI gate, stdlib only.
+
+The container has no ``coverage``/``pytest-cov``, so this measures
+line coverage of ``src/repro`` with ``sys.settrace``: the tracer is
+installed process-wide (and via ``threading.settrace``), local tracing
+is declined for files outside the tree (so the overhead stays mostly
+inside the measured package), and the executable-line universe comes
+from compiling every source file and walking ``co_lines()`` over the
+nested code objects — the same universe, measured the same way, in CI
+and locally, so the gate number is apples-to-apples.
+
+Usage::
+
+    python tools/coverage_gate.py                       # measure + report
+    python tools/coverage_gate.py --fail-under 70       # gate (CI)
+    python tools/coverage_gate.py --report cov.json     # artifact
+    python tools/coverage_gate.py -- tests/sim -q       # pytest args
+
+Exit codes: 0 ok, 1 coverage below the gate, 2 test failures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import threading
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+PACKAGE = SRC / "repro"
+sys.path.insert(0, str(SRC))
+
+
+def executable_lines(path: pathlib.Path) -> set[int]:
+    """Every line the interpreter could report for this file."""
+    code = compile(path.read_text(), str(path), "exec")
+    lines: set[int] = set()
+    stack = [code]
+    while stack:
+        obj = stack.pop()
+        for _start, _end, line in obj.co_lines():
+            if line is not None:
+                lines.add(line)
+        stack.extend(
+            const for const in obj.co_consts if hasattr(const, "co_lines")
+        )
+    return lines
+
+
+def build_universe() -> dict[str, set[int]]:
+    return {
+        str(path): executable_lines(path)
+        for path in sorted(PACKAGE.rglob("*.py"))
+    }
+
+
+class Tracer:
+    """Records (file, line) hits for files under ``src/repro``."""
+
+    def __init__(self, universe: dict[str, set[int]]):
+        self.universe = universe
+        self.hits: dict[str, set[int]] = {name: set() for name in universe}
+        self.prefix = str(PACKAGE)
+
+    def global_trace(self, frame, event, arg):
+        filename = frame.f_code.co_filename
+        if not filename.startswith(self.prefix):
+            return None  # decline local tracing outside the package
+        return self.local_trace
+
+    def local_trace(self, frame, event, arg):
+        if event == "line":
+            hits = self.hits.get(frame.f_code.co_filename)
+            if hits is not None:
+                hits.add(frame.f_lineno)
+        return self.local_trace
+
+    def install(self):
+        threading.settrace(self.global_trace)
+        sys.settrace(self.global_trace)
+
+    def uninstall(self):
+        sys.settrace(None)
+        threading.settrace(None)  # type: ignore[arg-type]
+
+
+def summarize(tracer: Tracer) -> dict:
+    files = {}
+    total_exec = total_hit = 0
+    for name, universe in tracer.universe.items():
+        hit = len(tracer.hits[name] & universe)
+        total_exec += len(universe)
+        total_hit += hit
+        rel = str(pathlib.Path(name).relative_to(REPO))
+        files[rel] = {
+            "lines": len(universe),
+            "covered": hit,
+            "percent": round(100.0 * hit / len(universe), 2)
+            if universe else 100.0,
+        }
+    percent = round(100.0 * total_hit / total_exec, 2) if total_exec else 100.0
+    return {
+        "percent": percent,
+        "lines": total_exec,
+        "covered": total_hit,
+        "files": files,
+    }
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fail-under", type=float, default=None,
+                        help="exit 1 if total percent is below this")
+    parser.add_argument("--report", default=None,
+                        help="write a JSON coverage report here")
+    parser.add_argument("pytest_args", nargs="*",
+                        help="arguments for pytest (after --)")
+    args = parser.parse_args(argv)
+    pytest_args = args.pytest_args or ["-q", "-p", "no:cacheprovider",
+                                       str(REPO / "tests")]
+
+    import pytest
+
+    tracer = Tracer(build_universe())
+    tracer.install()
+    try:
+        test_status = pytest.main(pytest_args)
+    finally:
+        tracer.uninstall()
+
+    summary = summarize(tracer)
+    worst = sorted(
+        ((info["percent"], rel) for rel, info in summary["files"].items()
+         if info["lines"]),
+    )[:10]
+    print(f"\nsrc/repro line coverage: {summary['percent']:.2f}% "
+          f"({summary['covered']}/{summary['lines']} lines)")
+    print("least covered:")
+    for percent, rel in worst:
+        print(f"  {percent:6.2f}%  {rel}")
+
+    if args.report:
+        pathlib.Path(args.report).write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"report written to {args.report}")
+
+    if test_status != 0:
+        print("test run failed; coverage not gated", file=sys.stderr)
+        return 2
+    if args.fail_under is not None and summary["percent"] < args.fail_under:
+        print(f"FAIL: coverage {summary['percent']:.2f}% is below the "
+              f"gate of {args.fail_under:.2f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Regenerate the golden regression corpus under tests/golden/.
+
+Runs every deterministic experiment (E1-E18; E19 is the fault sweep
+and pins its own behaviour through tests/properties/) at the default
+root seed and writes each one's structured results to
+``tests/golden/<name>.json``.  The tier-1 test
+``tests/golden/test_golden.py`` re-runs the experiments and diffs
+against these files, so regenerate (``make regen-golden``) whenever an
+intentional behaviour change shifts the numbers — and eyeball the git
+diff of the JSON to confirm the shift is the one you meant to make.
+
+Usage::
+
+    python tools/regen_golden.py          # all of e1..e18
+    python tools/regen_golden.py e5 e11   # a subset
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+import sys
+from contextlib import redirect_stdout
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.exp.jobs import run_experiments  # noqa: E402
+
+GOLDEN_DIR = REPO / "tests" / "golden"
+GOLDEN_EXPERIMENTS = tuple(f"e{i}" for i in range(1, 19))
+
+
+def regenerate(names: list[str]) -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    tables = io.StringIO()
+    with redirect_stdout(tables):
+        outcome = run_experiments(list(names), jobs=1, cache=None,
+                                  root_seed=0)
+    if outcome.failed:
+        sys.stdout.write(tables.getvalue())
+        print("experiment failures; goldens NOT written", file=sys.stderr)
+        return 1
+    for name in names:
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(
+            json.dumps(outcome.values[name], indent=2, sort_keys=True)
+            + "\n"
+        )
+        print(f"wrote {path.relative_to(REPO)}")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    names = [a.lower() for a in argv] or list(GOLDEN_EXPERIMENTS)
+    unknown = [n for n in names if n not in GOLDEN_EXPERIMENTS]
+    if unknown:
+        print(f"not golden experiments: {', '.join(unknown)} "
+              f"(choose from {', '.join(GOLDEN_EXPERIMENTS)})",
+              file=sys.stderr)
+        return 2
+    return regenerate(names)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
