@@ -8,13 +8,20 @@
 #   coverage           src/repro line coverage (stdlib tracer) -> coverage.json
 #   bench-engine       sim-engine microbenchmarks -> BENCH_engine.json
 #   bench-engine-quick CI-sized engine smoke (seconds, not minutes)
+#   bench-guard        engine benchmarks vs the recorded BENCH_engine.json
+#                      baseline; fails on a >5% events/sec regression
 #   bench-runall       serial-vs-parallel + cold-vs-warm-cache wall clock
 #                      for the experiment runner -> BENCH_runall.json
-#   run-all            all 19 experiments, serial (bit-for-bit the
+#   run-all            all 20 experiments, serial (bit-for-bit the
 #                      historical output)
 #   run-all-par        the same artifact fanned out over REPRO_JOBS
 #                      workers (default 4); tables are identical
-#   run-all-faults     the artifact under the default fault plan (cache off)
+#   run-all-faults     the artifact under the default fault plan (cached
+#                      under its own keys — the plan is in the cache key)
+#   run-e20            the observability experiment alone: per-stage
+#                      attribution + overhead + results/e20_trace.json
+#   trace-export       Perfetto/Chrome-trace artifact for all four
+#                      stacks -> results/e20_trace.json (schema-checked)
 PYTHON ?= python
 export PYTHONPATH := src
 REPRO_JOBS ?= 4
@@ -22,8 +29,8 @@ REPRO_JOBS ?= 4
 COVER_MIN ?= 92
 
 .PHONY: test test-fast test-props test-faults regen-golden coverage \
-	bench-engine bench-engine-quick bench-runall \
-	run-all run-all-par run-all-faults
+	bench-engine bench-engine-quick bench-guard bench-runall \
+	run-all run-all-par run-all-faults run-e20 trace-export
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -52,6 +59,11 @@ bench-engine:
 bench-engine-quick:
 	$(PYTHON) benchmarks/bench_engine.py --quick
 
+# Regression fence: fail if the engine hot path lost more than 5%
+# events/sec against the recorded baseline (use --repeat to de-noise).
+bench-guard:
+	$(PYTHON) benchmarks/bench_engine.py --guard BENCH_engine.json --repeat 5
+
 bench-runall:
 	$(PYTHON) benchmarks/bench_runall.py --out BENCH_runall.json
 
@@ -63,3 +75,9 @@ run-all-par:
 
 run-all-faults:
 	$(PYTHON) -m repro.experiments.run_all --faults
+
+run-e20:
+	$(PYTHON) -m repro.experiments.run_all e20
+
+trace-export:
+	$(PYTHON) tools/trace_export.py --all --out results/e20_trace.json --validate

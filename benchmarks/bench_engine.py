@@ -22,10 +22,14 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_engine.py            # full run
     PYTHONPATH=src python benchmarks/bench_engine.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/bench_engine.py --out BENCH_engine.json
+    PYTHONPATH=src python benchmarks/bench_engine.py --guard BENCH_engine.json
 
 Each benchmark reports events/sec (scheduled engine events divided by
 wall-clock time, best of ``--repeat`` runs).  ``--out`` writes a JSON
-report so successive PRs can track the trajectory.
+report so successive PRs can track the trajectory; ``--guard BASELINE``
+compares the current run against a stored report and fails (exit 1) if
+any benchmark regresses more than ``--tolerance`` (default 5%) — the
+regression fence for hot-path changes like the observability hooks.
 """
 
 from __future__ import annotations
@@ -168,6 +172,30 @@ def run_benchmark(name: str, quick: bool = False, repeat: int = 3) -> dict:
     return result
 
 
+def check_guard(report: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Regressions of ``report`` vs ``baseline`` beyond ``tolerance``.
+
+    Only benchmarks present in both and run at matching sizes are
+    compared (a --quick run against a full baseline would be noise).
+    Returns human-readable failure lines; empty means within fence.
+    """
+    failures = []
+    for name, base in baseline.get("benchmarks", {}).items():
+        current = report["benchmarks"].get(name)
+        if current is None or current["args"] != base["args"]:
+            continue
+        floor = base["events_per_sec"] * (1.0 - tolerance)
+        if current["events_per_sec"] < floor:
+            drop = 100.0 * (1 - current["events_per_sec"]
+                            / base["events_per_sec"])
+            failures.append(
+                f"{name}: {current['events_per_sec']} ev/s is {drop:.1f}% "
+                f"below baseline {base['events_per_sec']} "
+                f"(allowed {100 * tolerance:.0f}%)"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -176,11 +204,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="take the best of N runs (default 3)")
     parser.add_argument("--out", default=None,
                         help="write a JSON report to this path")
+    parser.add_argument("--guard", default=None, metavar="BASELINE",
+                        help="compare against a stored JSON report; exit 1 "
+                             "if any benchmark regresses past --tolerance")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed fractional regression for --guard "
+                             "(default 0.05)")
     parser.add_argument("names", nargs="*", choices=[[], *BENCHMARKS],
                         help="subset of benchmarks to run")
     opts = parser.parse_args(argv)
     if opts.repeat < 1:
         parser.error("--repeat must be >= 1")
+    if not 0 <= opts.tolerance < 1:
+        parser.error("--tolerance must be in [0, 1)")
 
     selected = opts.names or list(BENCHMARKS)
     report = {
@@ -203,6 +239,17 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"report written to {opts.out}")
+    if opts.guard:
+        with open(opts.guard) as handle:
+            baseline = json.load(handle)
+        failures = check_guard(report, baseline, opts.tolerance)
+        if failures:
+            print(f"\nBENCH GUARD FAILED vs {opts.guard}:")
+            for line in failures:
+                print(f"  - {line}")
+            return 1
+        print(f"\nbench guard: within {100 * opts.tolerance:.0f}% "
+              f"of {opts.guard}")
     return 0
 
 

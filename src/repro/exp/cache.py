@@ -2,9 +2,19 @@
 
 A job's cache key is the SHA-256 of the canonical JSON of::
 
-    {experiment id, fn, canonicalised params, seed, code fingerprint}
+    {experiment id, fn, canonicalised params, seed, code fingerprint,
+     active fault plan}
 
-where the *code fingerprint* hashes the source bytes of every
+The *active fault plan* term is whatever
+:func:`repro.faults.context.active_plan` resolves to at lookup time
+(explicit scope or the ``REPRO_FAULTS`` env var), canonicalised to its
+dataclass fields — so a plain run, ``--faults``, and two different
+fault specs all key (and cache) separately, and ``run_all --faults``
+no longer needs to disable the cache to stay correct.  A zero plan
+keys identically to no plan, matching the null-plan byte-identity
+property.
+
+The *code fingerprint* hashes the source bytes of every
 ``repro.*`` module the job's function transitively imports (resolved
 statically from the import statements, including function-local ones).
 Touching any module an experiment depends on — its own file, the
@@ -22,6 +32,7 @@ readers never observe torn entries.
 from __future__ import annotations
 
 import ast
+import dataclasses
 import hashlib
 import json
 import os
@@ -30,11 +41,12 @@ from importlib import util as importlib_util
 from pathlib import Path
 from typing import Optional
 
+from ..faults.context import active_plan
 from .pool import JobResult, JobSpec
 
 __all__ = ["ResultCache", "code_fingerprint", "module_closure"]
 
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 _DEFAULT_ROOT = ".repro-cache"
 
 # Per-process memos: module -> (path, direct repro imports), path -> sha.
@@ -153,6 +165,13 @@ class ResultCache:
 
     def key(self, spec: JobSpec) -> str:
         module_name = spec.fn.partition(":")[0]
+        # The ambient fault plan changes every testbed a job builds, so
+        # it is result-determining state exactly like params and seed.
+        # An inactive (zero) plan behaves byte-identically to no plan
+        # and keys the same way.
+        plan = active_plan()
+        if plan is not None and not plan.active:
+            plan = None
         material = json.dumps(
             {
                 "version": CACHE_VERSION,
@@ -161,6 +180,7 @@ class ResultCache:
                 "params": spec.params,
                 "seed": spec.seed,
                 "fingerprint": code_fingerprint(module_name),
+                "faults": None if plan is None else dataclasses.asdict(plan),
             },
             sort_keys=True,
             separators=(",", ":"),

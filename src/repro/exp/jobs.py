@@ -28,6 +28,7 @@ from ..experiments import dynamic_mix as _dynamic_mix
 from ..experiments import fault_sweep as _fault_sweep
 from ..experiments import four_stacks as _four_stacks
 from ..experiments import load_sweep as _load_sweep
+from ..experiments import obs_attribution as _obs
 from ..experiments import sensitivity as _sensitivity
 from ..experiments import serverless as _serverless
 from ..sim.rng import derive_seed
@@ -233,6 +234,26 @@ def _assemble_sensitivity(values: list[Any]) -> Any:
     return jsonable((points, break_even))
 
 
+def _obs_jobs(root_seed: int) -> list[JobSpec]:
+    return [
+        JobSpec.make(
+            f"e20/{stack}", "e20",
+            f"{_EXP}.obs_attribution:measure_obs_stack",
+            capture=False, stack=stack,
+        )
+        for stack in _four_stacks.STACKS
+    ]
+
+
+def _assemble_obs(values: list[Any]) -> Any:
+    results = [_obs.ObsResult(**v) for v in values]
+    _obs.render_obs_attribution(results)
+    payload = _obs.write_trace_artifact(results)
+    print(f"\n[wrote {_obs.TRACE_ARTIFACT}: "
+          f"{len(payload['traceEvents'])} trace events]")
+    return jsonable(results)
+
+
 def _points(name: str, title: str, build_jobs, assemble) -> ExperimentSpec:
     return ExperimentSpec(name=name, title=title, build_jobs=build_jobs,
                           assemble=assemble)
@@ -281,6 +302,8 @@ EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
                 _sensitivity_jobs, _assemble_sensitivity),
         _points("e19", "Fault sweep — invariants under injected faults",
                 _fault_sweep_jobs, _assemble_fault_sweep),
+        _points("e20", "Observability — span attribution & overhead",
+                _obs_jobs, _assemble_obs),
     ]
 }
 

@@ -1,4 +1,4 @@
-"""Run every experiment (E1-E19) and print the paper-shaped output.
+"""Run every experiment (E1-E20) and print the paper-shaped output.
 
 Usage::
 
@@ -49,6 +49,7 @@ from .iommu_tax import run_iommu_tax
 from .load_sweep import run_load_sweep
 from .model_check import run_model_check
 from .nested_rpc import run_nested_rpc
+from .obs_attribution import run_obs_attribution
 from .protocol_cost import run_protocol_cost
 from .report import format_table
 from .sched_state import run_sched_state
@@ -83,6 +84,7 @@ _SERIAL = {
     "e17": lambda: run_serverless(),
     "e18": lambda: run_sensitivity(),
     "e19": lambda: run_fault_sweep(),
+    "e20": lambda: run_obs_attribution(),
 }
 
 EXPERIMENTS = {
@@ -143,8 +145,9 @@ def main(argv: list[str] | None = None) -> int:
         elif arg == "--faults":
             # Optional spec argument ("default,loss=0.05"); bare --faults
             # means the default plan.  The plan travels to every testbed
-            # (and pool worker) via the REPRO_FAULTS env var; the result
-            # cache is keyed by code+params only, so fault runs bypass it.
+            # (and pool worker) via the REPRO_FAULTS env var, and is part
+            # of the result-cache key, so fault runs cache like any other
+            # (each distinct spec under its own keys).
             spec = "default"
             if index + 1 < len(argv) and "=" in argv[index + 1]:
                 spec = argv[index + 1]
@@ -155,7 +158,6 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"--faults: {error}")
                 return 2
             os.environ[ENV_VAR] = spec
-            use_cache = False
             index += 1
         elif arg == "--timings":
             show_timings = True

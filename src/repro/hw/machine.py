@@ -83,6 +83,19 @@ class Machine:
         """Run the machine's simulator (see :meth:`Simulator.run`)."""
         return self.sim.run(until=until)
 
+    def bind_metrics(self, registry, prefix: str = "machine") -> None:
+        """Register machine-wide and per-core counters as live probes
+        on a :class:`repro.obs.MetricsRegistry` (read at snapshot time,
+        never on the data path)."""
+        registry.probe(prefix, lambda: {
+            "busy_ns": self.total_busy_ns(),
+            "stall_ns": self.total_stall_ns(),
+            "instructions": self.total_instructions(),
+            "now_ns": self.sim.now,
+        })
+        for core in self.cores:
+            registry.bind(f"{prefix}.core{core.id}", core.counters)
+
     def total_busy_ns(self) -> float:
         return sum(core.counters.busy_ns for core in self.cores)
 

@@ -56,25 +56,39 @@ class LatencySummary:
 
 
 class LatencyRecorder:
-    """Accumulates samples; summarises on demand."""
+    """Accumulates samples; summarises on demand.
+
+    The sorted view is cached and invalidated on insertion, so callers
+    that summarise repeatedly (monitoring loops, per-window reports)
+    pay one sort per batch of insertions instead of one per call.
+    """
 
     def __init__(self, name: str = ""):
         self.name = name
         self.samples: list[float] = []
+        self._sorted: list[float] | None = None
 
     def record(self, value: float) -> None:
         self.samples.append(value)
+        self._sorted = None
 
     def extend(self, values: Iterable[float]) -> None:
         self.samples.extend(values)
+        self._sorted = None
 
     def __len__(self) -> int:
         return len(self.samples)
 
+    def summary_or_none(self) -> LatencySummary | None:
+        """Like :meth:`summary`, but None while empty instead of raising."""
+        return self.summary() if self.samples else None
+
     def summary(self) -> LatencySummary:
         if not self.samples:
             raise ValueError(f"recorder {self.name!r} has no samples")
-        ordered = sorted(self.samples)
+        ordered = self._sorted
+        if ordered is None or len(ordered) != len(self.samples):
+            ordered = self._sorted = sorted(self.samples)
         return LatencySummary(
             count=len(ordered),
             mean=sum(ordered) / len(ordered),

@@ -144,6 +144,11 @@ class Port:
         frame = yield from self.egress.receive()
         return frame
 
+    def bind_metrics(self, registry, prefix: str = "port") -> None:
+        """Register both directions' :class:`LinkStats` on a registry."""
+        registry.bind(f"{prefix}.in", self.ingress.stats)
+        registry.bind(f"{prefix}.out", self.egress.stats)
+
 
 class SwitchFabric:
     """A store-and-forward switch keyed by destination MAC."""
@@ -170,6 +175,14 @@ class SwitchFabric:
         self.ports[mac.value] = port
         self.sim.process(self._forward_loop(port), name=f"switch-fwd-{port.name}")
         return port
+
+    def bind_metrics(self, registry, prefix: str = "switch") -> None:
+        """Register fabric drops and every port's link counters."""
+        registry.probe(prefix, lambda: {
+            "unknown_dst_drops": self.unknown_dst_drops,
+        })
+        for port in self.ports.values():
+            port.bind_metrics(registry, f"{prefix}.{port.name}")
 
     def _forward_loop(self, port: Port):
         from .headers import EthernetHeader

@@ -44,6 +44,9 @@ class BaseNic:
         #: optional fault hook (a zero-arg generator factory) run by the
         #: RX loop per received frame; installed by repro.faults
         self.rx_fault = None
+        #: optional span recorder (repro.obs.spans.SpanRecorder); None
+        #: means every hook is a single attribute test
+        self.obs = None
         self._tx_engine: Store = Store(self.sim, name=f"{name}.txq")
         self._started = False
 
@@ -63,6 +66,18 @@ class BaseNic:
             yield from self._tx_frame(frame)
             self.stats.tx_frames += 1
             yield from self.port.send(frame)
+            obs = self.obs
+            if obs is not None:
+                ctx = frame.meta.get("obs")
+                queued_ns = frame.meta.pop("_obs_txq_ns", None)
+                if ctx is not None and queued_ns is not None:
+                    obs.record("nic.tx", "nic", ctx, queued_ns, self.sim.now)
+                if ctx is not None:
+                    # Wire entry time for the receiver's "wire.*" span
+                    # (born_ns marks frame *construction*, which for
+                    # user-space stacks predates the device by the whole
+                    # host TX path).
+                    frame.meta["_obs_wire_ns"] = self.sim.now
 
     def _tx_frame(self, frame: Frame):
         """Device-side work before a frame hits the wire; overridable."""
@@ -71,7 +86,15 @@ class BaseNic:
 
     def queue_tx(self, frame: Frame) -> None:
         """Hand a frame to the device TX engine (device-side call)."""
+        if self.obs is not None and "obs" in frame.meta:
+            frame.meta["_obs_txq_ns"] = self.sim.now
         self._tx_engine.try_put(frame)
+
+    # -- observability ----------------------------------------------------------
+
+    def bind_metrics(self, registry, prefix: str = "nic") -> None:
+        """Register this device's stats with a metrics registry."""
+        registry.bind(prefix, self.stats)
 
     # -- subclass responsibilities ------------------------------------------------
 

@@ -89,6 +89,11 @@ class BypassNic(BaseNic):
             self.stats.rx_frames += 1
             if self.rx_fault is not None:
                 yield from self.rx_fault()
+            obs = self.obs
+            ctx = frame.meta.get("obs") if obs is not None else None
+            if ctx is not None:
+                obs.record("wire.req", "net", ctx, frame.born_ns, self.sim.now)
+            rx_start_ns = self.sim.now
             yield self.sim.timeout(self.params.parse_ns + self.params.demux_ns)
             queue = self._classify(frame)
             if len(queue.ring) >= queue.capacity:
@@ -98,6 +103,9 @@ class BypassNic(BaseNic):
             yield from self.link.dma_write(len(frame.data))
             yield from self.link.dma_write(self.params.descriptor_bytes)
             queue.ring.append(frame)
+            if ctx is not None:
+                obs.record("nic.rx", "nic", ctx, rx_start_ns, self.sim.now,
+                           queue=queue.index)
             queue.gate.open()
 
     def _classify(self, frame: Frame) -> BypassQueue:
@@ -116,6 +124,13 @@ class BypassNic(BaseNic):
             len(self.queues),
         )
         return self.queues[index]
+
+    def bind_metrics(self, registry, prefix: str = "nic") -> None:
+        super().bind_metrics(registry, prefix)
+        for queue in self.queues:
+            registry.probe(f"{prefix}.rxq{queue.index}", lambda q=queue: {
+                "depth": len(q.ring), "drops": q.drops,
+            })
 
     # -- PMD (user-space driver) --------------------------------------------
 
@@ -150,6 +165,10 @@ class BypassNic(BaseNic):
                         waited / per_iter_ns * params.pmd_poll_instructions
                     )
             frame = queue.ring.pop(0)
+            if self.obs is not None and "obs" in frame.meta:
+                # Host receipt: the "app" span runs from here until the
+                # response reaches transmit().
+                frame.meta["_obs_rx_ns"] = self.sim.now
             # Final poll iteration that found the descriptor + RX work.
             yield from core.execute(
                 params.pmd_poll_instructions + params.pmd_rx_instructions
@@ -193,6 +212,8 @@ class BypassNic(BaseNic):
                         waited / per_sweep_ns * sweep_cost
                     )
             frame = ready.ring.pop(0)
+            if self.obs is not None and "obs" in frame.meta:
+                frame.meta["_obs_rx_ns"] = self.sim.now
             yield from core.execute(sweep_cost + params.pmd_rx_instructions)
             return frame
 
@@ -202,6 +223,15 @@ class BypassNic(BaseNic):
 
     def transmit(self, frame: Frame, core):
         """PMD TX: descriptor write + doorbell, no syscall; generator."""
+        obs = self.obs
+        if obs is not None:
+            # Close the host-software window opened at ring pop: parse,
+            # unmarshal, handler, marshal (and for Snap, both channel
+            # hops) all land in one "app" span.
+            ctx = frame.meta.get("obs")
+            rx_ns = frame.meta.pop("_obs_rx_ns", None)
+            if ctx is not None and rx_ns is not None:
+                obs.record("app", "app", ctx, rx_ns, self.sim.now)
         yield from core.execute(self.params.pmd_tx_instructions)
         yield from self.link.mmio_write(core)
         delay = self.link.posted_delay_ns()

@@ -93,6 +93,11 @@ class DmaNic(BaseNic):
             self.stats.rx_frames += 1
             if self.rx_fault is not None:
                 yield from self.rx_fault()
+            obs = self.obs
+            ctx = frame.meta.get("obs") if obs is not None else None
+            if ctx is not None:
+                obs.record("wire.req", "net", ctx, frame.born_ns, self.sim.now)
+            rx_start_ns = self.sim.now
             # Device pipeline: header decode + RSS demux.
             yield self.sim.timeout(self.params.parse_ns + self.params.demux_ns)
             queue = self._classify(frame)
@@ -104,6 +109,9 @@ class DmaNic(BaseNic):
             yield from self.link.dma_write(len(frame.data))
             yield from self.link.dma_write(self.params.descriptor_bytes)
             queue.completed.append(frame)
+            if ctx is not None:
+                obs.record("nic.rx", "nic", ctx, rx_start_ns, self.sim.now,
+                           queue=queue.index)
             if queue.irq_enabled and self.kernel is not None:
                 queue.irq_enabled = False
                 yield from self.link.raise_interrupt(self.params.interrupt_raise_ns)
@@ -149,6 +157,13 @@ class DmaNic(BaseNic):
             return None
 
         return handler
+
+    def bind_metrics(self, registry, prefix: str = "nic") -> None:
+        super().bind_metrics(registry, prefix)
+        for queue in self.queues:
+            registry.probe(f"{prefix}.rxq{queue.index}", lambda q=queue: {
+                "depth": q.depth, "drops": q.drops,
+            })
 
     # -- transmit path ------------------------------------------------------------
 

@@ -34,6 +34,7 @@ from ...hw.machine import Machine
 from ...net.headers import HeaderError, MacAddress
 from ...net.link import Port
 from ...net.packet import build_udp_frame, parse_udp_frame
+from ...obs.spans import public_meta
 from ...rpc.message import RpcError, RpcMessage, RpcType
 from ...rpc.service import ServiceDef, ServiceRegistry
 from ...sim.engine import Event
@@ -415,6 +416,19 @@ class LauberhornNic(BaseNic, HomeDevice):
             self.telemetry.on_delivery(
                 request.tag, self.sim.now, ep.kind is EndpointKind.KERNEL
             )
+            obs = self.obs
+            if obs is not None:
+                dispatch_span = request.meta.pop("_obs_dispatch", None)
+                if dispatch_span is not None:
+                    obs.finish(dispatch_span,
+                               via_kernel=ep.kind is EndpointKind.KERNEL)
+                ctx = request.meta.get("obs")
+                if ctx is not None:
+                    # Handler window, NIC-observed: delivery (CONTROL
+                    # fill answered) to completion (the other line's
+                    # load) — zero software on the data path.
+                    request.meta["_obs_service"] = obs.start(
+                        "app", "app", ctx)
             load = self.load.service(service.service_id)
             if ep.kind is EndpointKind.KERNEL:
                 ep.stats.kernel_dispatches += 1
@@ -484,6 +498,13 @@ class LauberhornNic(BaseNic, HomeDevice):
         delivery on this end-point."""
         from ...sim.clock import bytes_time_ns
 
+        obs = self.obs
+        if obs is not None:
+            service_span = inflight.request.meta.pop("_obs_service", None)
+            if service_span is not None:
+                obs.finish(service_span)
+            if "obs" in inflight.request.meta:
+                inflight.request.meta["_obs_done_ns"] = self.sim.now
         ctrl_addr = ep.ctrl_addrs[inflight.parity]
         data, dirty = self.fabric.device_claim(ctrl_addr)
         header_n_aux = data[1]
@@ -537,6 +558,12 @@ class LauberhornNic(BaseNic, HomeDevice):
 
             yield self.sim.timeout(nic_crypto_ns(len(payload)))
         yield self.sim.timeout(self.params.compose_line_ns)
+        obs = self.obs
+        if obs is not None:
+            ctx = request.meta.get("obs")
+            done_ns = request.meta.pop("_obs_done_ns", None)
+            if ctx is not None and done_ns is not None:
+                obs.record("nic.egress", "nic", ctx, done_ns, self.sim.now)
         frame = build_udp_frame(
             src_mac=self.mac,
             dst_mac=request.reply_mac,
@@ -546,7 +573,7 @@ class LauberhornNic(BaseNic, HomeDevice):
             dst_port=request.reply_port,
             payload=message.pack(),
             born_ns=self.sim.now,
-            meta=dict(request.meta),
+            meta=dict(public_meta(request.meta)),
         )
         ep.stats.completed += 1
         self.load.service(request.service.service_id).completed += 1
@@ -563,6 +590,11 @@ class LauberhornNic(BaseNic, HomeDevice):
             self.stats.rx_frames += 1
             if self.rx_fault is not None:
                 yield from self.rx_fault()
+            obs = self.obs
+            ctx = frame.meta.get("obs") if obs is not None else None
+            if ctx is not None:
+                obs.record("wire.req", "net", ctx, frame.born_ns, self.sim.now)
+            rx_start_ns = self.sim.now
             yield self.sim.timeout(self.params.parse_ns + self.params.demux_ns)
             try:
                 parsed = parse_udp_frame(frame)
@@ -630,6 +662,12 @@ class LauberhornNic(BaseNic, HomeDevice):
             )
             self.load.service(service.service_id).note_arrival(self.sim.now)
             self.telemetry.on_arrival(request.tag, service.service_id, self.sim.now)
+            if ctx is not None:
+                obs.record("nic.rx", "nic", ctx, rx_start_ns, self.sim.now)
+                # Open the dispatch window; _deliver closes it (the
+                # span object travels in the request's metadata).
+                request.meta["_obs_dispatch"] = obs.start(
+                    "nic.dispatch", "nic", ctx)
             self._dispatch_request(request)
 
     def _dispatch_request(self, request: PendingRequest) -> None:
@@ -704,6 +742,22 @@ class LauberhornNic(BaseNic, HomeDevice):
         victim = min(candidates, key=lambda ep: ep.last_delivery_ns)
         self.lstats.preempt_requests += 1
         self.send_tryagain(victim)
+
+    # -- observability ------------------------------------------------------------------------
+
+    def bind_metrics(self, registry, prefix: str = "nic") -> None:
+        super().bind_metrics(registry, prefix)
+        registry.bind(f"{prefix}.lauberhorn", self.lstats)
+        registry.probe(f"{prefix}.telemetry", lambda: {
+            "completed": len(self.telemetry.completed),
+            "inflight": len(self.telemetry._inflight),
+            "dropped": self.telemetry.dropped,
+            "reused": self.telemetry.reused,
+        })
+        registry.probe(f"{prefix}.backlog", lambda: {
+            "global": len(self.global_backlog),
+            "endpoints": sum(len(ep.backlog) for ep in self.endpoints),
+        })
 
     # -- debug/validation --------------------------------------------------------------------
 

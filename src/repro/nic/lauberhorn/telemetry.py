@@ -19,7 +19,8 @@ exactly what a fleet operator needs to tell overload from slow code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from typing import Optional
 
 from ...metrics.histogram import LatencyRecorder, LatencySummary
@@ -71,13 +72,26 @@ class TelemetryRing:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self.completed: list[RpcTimeline] = []
+        #: bounded FIFO of finished timelines; eviction is O(1)
+        self.completed: deque[RpcTimeline] = deque(maxlen=capacity)
         self.dropped = 0
+        #: arrivals whose tag was already in flight (client retransmits
+        #: under a lossy wire); the stale timeline is retired, not lost
+        #: silently
+        self.reused = 0
         self._inflight: dict[int, RpcTimeline] = {}
 
     # -- NIC-side hooks --------------------------------------------------------
 
     def on_arrival(self, tag: int, service_id: int, now_ns: float) -> None:
+        stale = self._inflight.get(tag)
+        if stale is not None:
+            # A retransmission reused the tag while the original is
+            # still in flight.  Overwriting would silently corrupt the
+            # original's timeline; retire it instead and count the
+            # collision so operators can see retransmission pressure.
+            self.reused += 1
+            self._retire(stale)
         self._inflight[tag] = RpcTimeline(
             tag=tag, service_id=service_id, arrived_ns=now_ns
         )
@@ -98,8 +112,12 @@ class TelemetryRing:
         if timeline is None:
             return
         timeline.sent_ns = now_ns
-        if len(self.completed) >= self.capacity:
-            self.completed.pop(0)
+        self._retire(timeline)
+
+    def _retire(self, timeline: RpcTimeline) -> None:
+        # deque(maxlen=...) evicts the oldest entry on append; count it
+        # first so `dropped` stays exact.
+        if len(self.completed) == self.capacity:
             self.dropped += 1
         self.completed.append(timeline)
 
@@ -123,8 +141,9 @@ class TelemetryRing:
         for name, samples in stages.items():
             recorder = LatencyRecorder(name)
             recorder.extend(s for s in samples if s is not None)
-            if len(recorder):
-                summaries[name] = recorder.summary()
+            summary = recorder.summary_or_none()
+            if summary is not None:
+                summaries[name] = summary
         return summaries
 
     def kernel_dispatch_fraction(self) -> float:

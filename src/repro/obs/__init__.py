@@ -1,0 +1,53 @@
+"""Request-scoped observability: spans, metrics, exporters.
+
+Section 6 of the paper argues the NIC-as-OS design can emit a complete
+per-RPC timeline because the NIC sees every stage of a request's life.
+This package generalises that story to *all* the reproduction's stacks:
+
+* :mod:`repro.obs.spans` — a Dapper-style span layer on top of
+  :class:`repro.sim.trace.Tracer`: every request gets a trace id at the
+  client, and each layer it crosses (client → wire → NIC rx →
+  dispatch/softirq → handler → egress → wire) records child spans with
+  parent links, so one RPC yields a real tree.
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry`
+  (counters/gauges/histograms with a single ``snapshot()`` dict) that
+  absorbs the ad-hoc stats scattered across ``hw/``, ``os/``,
+  ``net/link.py``, and the NIC models.
+* :mod:`repro.obs.export` — Chrome-trace/Perfetto JSON (loadable at
+  ``ui.perfetto.dev``) plus text flame/critical-path summaries.
+* :mod:`repro.obs.instrument` — one-call arming of a
+  :class:`~repro.experiments.testbed.Testbed`.
+
+Spans do Python-level bookkeeping only — they never advance simulated
+time — so an armed run produces bit-identical simulation results to an
+unarmed one (experiment E20 checks exactly this), and the disabled
+path is a single ``is None`` test per hook.
+"""
+
+from .export import (
+    chrome_trace_events,
+    export_chrome_trace,
+    render_critical_path,
+    render_stage_summary,
+    validate_chrome_trace,
+)
+from .instrument import arm_testbed, bind_testbed_metrics
+from .metrics import REGISTRY, Counter, Gauge, MetricsRegistry
+from .spans import Span, SpanRecorder, public_meta
+
+__all__ = [
+    "Span",
+    "SpanRecorder",
+    "public_meta",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "REGISTRY",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+    "render_stage_summary",
+    "render_critical_path",
+    "arm_testbed",
+    "bind_testbed_metrics",
+]

@@ -1,0 +1,54 @@
+"""One-call arming of a testbed: spans on, metrics bound.
+
+The span hooks live in the components themselves (client, NICs, the
+kernel netstack), each guarded by an ``obs is None`` test so unarmed
+runs pay a single attribute check.  :func:`arm_testbed` flips them all
+on with one shared :class:`~repro.obs.spans.SpanRecorder`;
+:func:`bind_testbed_metrics` registers every component's stats objects
+with a :class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metrics import MetricsRegistry
+from .spans import SpanRecorder
+
+__all__ = ["arm_testbed", "bind_testbed_metrics"]
+
+
+def arm_testbed(bed, recorder: Optional[SpanRecorder] = None) -> SpanRecorder:
+    """Attach a span recorder to every layer of an assembled testbed."""
+    if recorder is None:
+        recorder = SpanRecorder(bed.sim, tracer=bed.machine.tracer)
+    for client in bed.clients:
+        client.obs = recorder
+    bed.nic.obs = recorder
+    if bed.netstack is not None:
+        bed.netstack.obs = recorder
+    return recorder
+
+
+def bind_testbed_metrics(bed, registry: Optional[MetricsRegistry] = None,
+                         prefix: str = "") -> MetricsRegistry:
+    """Bind every component's stats into one registry namespace."""
+    if registry is None:
+        registry = MetricsRegistry()
+    p = f"{prefix}." if prefix else ""
+    bed.machine.bind_metrics(registry, prefix=f"{p}machine")
+    if bed.kernel is not None:
+        bed.kernel.bind_metrics(registry, prefix=f"{p}kernel")
+    bed.nic.bind_metrics(registry, prefix=f"{p}nic")
+    if bed.netstack is not None:
+        bed.netstack.bind_metrics(registry, prefix=f"{p}netstack")
+    bed.switch.bind_metrics(registry, prefix=f"{p}switch")
+    for client in bed.clients:
+        registry.probe(f"{p}{client.name}", lambda c=client: {
+            "outstanding": c.outstanding,
+            "parse_errors": c.parse_errors,
+            "unmatched_responses": c.unmatched_responses,
+            "retries": c.retries,
+            "give_ups": c.give_ups,
+        })
+    return registry

@@ -1,0 +1,141 @@
+"""A process-wide metrics registry: counters, gauges, histograms.
+
+Before this module, every component kept its own ad-hoc stats object —
+``NicStats``, ``KernelStats``, ``LinkStats``, ``SocketStats``,
+``LauberhornStats``, per-core ``CoreCounters`` — and every experiment
+that wanted a number had to know which object to reach into.  A
+:class:`MetricsRegistry` gives them one namespace and one
+``snapshot()`` call:
+
+* :meth:`MetricsRegistry.counter` / :meth:`gauge` /
+  :meth:`histogram` create owned instruments for new code;
+* :meth:`bind` registers an *existing* stats dataclass as a live
+  probe — its numeric fields are read at snapshot time, so the
+  component keeps mutating its own object with zero added cost on the
+  data path (the registry only pays at ``snapshot()``).
+
+Components expose a ``bind_metrics(registry, prefix)`` hook;
+:func:`repro.obs.instrument.bind_testbed_metrics` calls them all for
+an assembled testbed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Optional
+
+from ..metrics.histogram import LatencyRecorder
+
+__all__ = ["Counter", "Gauge", "MetricsRegistry", "REGISTRY"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value: either set directly or computed by ``fn``."""
+
+    __slots__ = ("name", "fn", "_value")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], Any]] = None):
+        self.name = name
+        self.fn = fn
+        self._value = 0
+
+    def set(self, value) -> None:
+        self._value = value
+
+    @property
+    def value(self):
+        return self.fn() if self.fn is not None else self._value
+
+
+def _numeric_fields(obj) -> dict[str, Any]:
+    """The int/float attributes of a stats object (dataclass or not)."""
+    if dataclasses.is_dataclass(obj):
+        pairs = ((f.name, getattr(obj, f.name))
+                 for f in dataclasses.fields(obj))
+    else:
+        pairs = vars(obj).items()
+    return {name: value for name, value in pairs
+            if isinstance(value, (int, float)) and not name.startswith("_")}
+
+
+class MetricsRegistry:
+    """One flat namespace over every component's instruments."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, LatencyRecorder] = {}
+        self._probes: list[tuple[str, Callable[[], dict]]] = []
+
+    # -- instrument factories (memoised by name) ------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str,
+              fn: Optional[Callable[[], Any]] = None) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name, fn)
+        elif fn is not None:
+            gauge.fn = fn
+        return gauge
+
+    def histogram(self, name: str) -> LatencyRecorder:
+        recorder = self._histograms.get(name)
+        if recorder is None:
+            recorder = self._histograms[name] = LatencyRecorder(name)
+        return recorder
+
+    # -- live probes over existing stats objects ------------------------------
+
+    def probe(self, prefix: str, fn: Callable[[], dict]) -> None:
+        """Register ``fn() -> {name: value}``, read at snapshot time."""
+        self._probes.append((prefix, fn))
+
+    def bind(self, prefix: str, obj) -> None:
+        """Expose a stats object's numeric fields as live gauges."""
+        self.probe(prefix, lambda obj=obj: _numeric_fields(obj))
+
+    # -- the one call everything funnels into ---------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Flat ``{"prefix.name": value}`` view of every instrument.
+
+        Histograms contribute their summary row (or nothing while
+        empty, via :meth:`LatencyRecorder.summary_or_none`).
+        """
+        out: dict[str, Any] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, recorder in self._histograms.items():
+            summary = recorder.summary_or_none()
+            if summary is not None:
+                for stat, value in summary.row().items():
+                    out[f"{name}.{stat}"] = value
+        for prefix, fn in self._probes:
+            for name, value in fn().items():
+                out[f"{prefix}.{name}"] = value
+        return out
+
+
+#: Process-wide default registry for code without an explicit one.
+REGISTRY = MetricsRegistry()

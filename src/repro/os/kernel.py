@@ -92,6 +92,15 @@ class Kernel:
         self.nics: list[Any] = []
         self._started = False
 
+    def bind_metrics(self, registry, prefix: str = "kernel") -> None:
+        """Register scheduler/syscall counters on a metrics registry
+        (live probe of :class:`KernelStats`, read at snapshot time)."""
+        registry.bind(prefix, self.stats)
+        registry.probe(prefix, lambda: {
+            "processes": len(self.processes),
+            "runnable": self.scheduler.total_queued(),
+        })
+
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:

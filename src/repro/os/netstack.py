@@ -16,6 +16,7 @@ from typing import Any, Optional
 from ..hw.core import Core
 from ..net.headers import HeaderError, MacAddress
 from ..net.packet import Frame, build_udp_frame, parse_udp_frame
+from ..obs.spans import public_meta
 from ..sim.engine import Event
 from .kernel import Kernel, KernelError
 from .ops import SendDatagram
@@ -80,6 +81,9 @@ class NetStack:
         self.sockets: dict[int, UdpSocket] = {}
         self.rx_parse_errors = 0
         self.rx_no_socket = 0
+        #: span recorder (repro.obs); None keeps softirq/syscall paths
+        #: free of any observability work beyond one attribute test
+        self.obs = None
         kernel.netstack = self
 
     # -- socket API -------------------------------------------------------------
@@ -94,6 +98,19 @@ class NetStack:
     def add_neighbor(self, ip: int, mac: MacAddress) -> None:
         self.arp[ip] = mac
 
+    def bind_metrics(self, registry, prefix: str = "netstack") -> None:
+        """Register stack counters and per-socket stats (live probes)."""
+        registry.probe(prefix, lambda: {
+            "rx_parse_errors": self.rx_parse_errors,
+            "rx_no_socket": self.rx_no_socket,
+            "sockets": len(self.sockets),
+        })
+        for port, socket in self.sockets.items():
+            registry.bind(f"{prefix}.udp{port}", socket.stats)
+            registry.probe(f"{prefix}.udp{port}", lambda s=socket: {
+                "queue_depth": len(s.rx_queue),
+            })
+
     # -- syscall paths (run on a core, in thread context) --------------------------
 
     def sys_recv(self, core: Core, thread: OsThread, socket: UdpSocket):
@@ -104,6 +121,15 @@ class NetStack:
             datagram = socket.rx_queue.pop(0)
             socket.stats.delivered += 1
             yield from core.execute(self.costs.socket_copy_instructions)
+            obs = self.obs
+            if obs is not None:
+                ctx = datagram.meta.get("obs")
+                enqueued_ns = datagram.meta.pop("_obs_enq_ns", None)
+                if ctx is not None:
+                    if enqueued_ns is not None:
+                        obs.record("os.socket", "os", ctx, enqueued_ns,
+                                   self.sim.now)
+                    datagram.meta["_obs_rx_ns"] = self.sim.now
             thread.resume_value = datagram
             return "ran"
         event = Event(self.sim)
@@ -116,6 +142,15 @@ class NetStack:
 
     def sys_send(self, core: Core, thread: OsThread, op: SendDatagram):
         """``sendmsg``: generator; charges TX path and submits to the NIC."""
+        obs = self.obs
+        ctx = op.meta.get("obs") if obs is not None else None
+        if ctx is not None:
+            # Close the application window opened at recvmsg hand-off:
+            # wakeup, syscall return, unmarshal, handler, marshal.
+            handed_ns = op.meta.get("_obs_rx_ns")
+            if handed_ns is not None:
+                obs.record("app", "app", ctx, handed_ns, self.sim.now)
+        tx_start_ns = self.sim.now
         self.kernel.stats.syscalls += 1
         yield from core.execute(
             self.costs.syscall_instructions + self.costs.socket_tx_instructions
@@ -125,11 +160,13 @@ class NetStack:
             dst_ip=op.dst_ip,
             dst_port=op.dst_port,
             payload=op.payload,
-            meta=op.meta,
+            meta=public_meta(op.meta),
         )
         op.socket.stats.sent += 1
         nic = self._nic()
         yield from nic.transmit(frame, core)
+        if ctx is not None:
+            obs.record("os.tx", "os", ctx, tx_start_ns, self.sim.now)
         return None
 
     def build_frame(
@@ -169,6 +206,9 @@ class NetStack:
         protocol processing, finding the process, and (via the
         scheduler) getting it onto a core.
         """
+        obs = self.obs
+        ctx = frame.meta.get("obs") if obs is not None else None
+        softirq_start_ns = self.sim.now
         yield from core.execute(self.costs.softirq_instructions)
         try:
             parsed = parse_udp_frame(frame)
@@ -193,9 +233,17 @@ class NetStack:
         if socket.waiters:
             waiter = socket.waiters.pop(0)
             yield from core.execute(self.costs.socket_wakeup_instructions)
+            if ctx is not None:
+                # Direct hand-off to a blocked recvmsg: no queue wait;
+                # the "app" span starts here and absorbs the wakeup.
+                datagram.meta["_obs_rx_ns"] = self.sim.now
             waiter.succeed(datagram)
         elif len(socket.rx_queue) < socket.capacity:
+            if ctx is not None:
+                datagram.meta["_obs_enq_ns"] = self.sim.now
             socket.rx_queue.append(datagram)
         else:
             socket.stats.dropped += 1
+        if ctx is not None:
+            obs.record("os.softirq", "os", ctx, softirq_start_ns, self.sim.now)
         return None

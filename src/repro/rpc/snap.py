@@ -46,6 +46,9 @@ class _Work:
     reply_ip: int
     reply_port: int
     src_port: int
+    #: frame metadata carried through to the response (request id,
+    #: trace context, observability stamps)
+    meta: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -157,6 +160,11 @@ def snap_engine_body(nic, queues, engine: SnapEngine):
 
             yield ops.Call(_tx)
             continue
+        if nic.obs is not None and "obs" in frame.meta:
+            # Host receipt: the "app" span runs from the engine's ring
+            # pop until the response re-enters nic.transmit — both
+            # channel hops and the worker land inside it.
+            frame.meta["_obs_rx_ns"] = nic.sim.now
         yield ops.Exec(USER_PARSE_INSTRUCTIONS + RPC_HEADER_DECODE_INSTRUCTIONS)
         try:
             parsed = parse_udp_frame(frame)
@@ -178,6 +186,7 @@ def snap_engine_body(nic, queues, engine: SnapEngine):
                 reply_ip=parsed.ip.src,
                 reply_port=parsed.udp.src_port,
                 src_port=parsed.udp.dst_port,
+                meta=dict(frame.meta),
             )
         )
 
@@ -220,6 +229,7 @@ def snap_worker_body(engine: SnapEngine, service, max_requests=None):
             dst_ip=work.reply_ip,
             dst_port=work.reply_port,
             payload=response.pack(),
+            meta=dict(work.meta),
         )
         yield ops.Exec(CHANNEL_OP_INSTRUCTIONS)
         engine.push_response(frame)

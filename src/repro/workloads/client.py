@@ -69,6 +69,10 @@ class ClientNode:
         self.max_retries = 16
         self.retries = 0
         self.give_ups = 0
+        #: span recorder (repro.obs); None keeps the request path free
+        #: of any observability work beyond this attribute test
+        self.obs = None
+        self._obs_roots: dict[int, Any] = {}
         sim.process(self._rx_loop(), name=f"{name}-rx")
 
     # -- sending ----------------------------------------------------------------
@@ -98,6 +102,14 @@ class ClientNode:
             born_ns=self.sim.now,
             meta={"request_id": request_id},
         )
+        obs = self.obs
+        if obs is not None:
+            # Root span of this request's trace; the context rides in
+            # frame.meta and every layer hangs children under it.
+            root = obs.start_trace("rpc", "client", request_id=request_id,
+                                   client=self.name)
+            frame.meta["obs"] = root.ctx
+            self._obs_roots[request_id] = root
         done = Event(self.sim)
         self._pending[request_id] = (self.sim.now, list(args), done)
         self.sim.process(self.port.send(frame))
@@ -164,6 +176,15 @@ class ClientNode:
                 self.unmatched_responses += 1
                 continue
             sent_ns, args, done = pending
+            if self.obs is not None:
+                root = self._obs_roots.pop(message.header.request_id, None)
+                if root is not None:
+                    ctx = frame.meta.get("obs")
+                    wire_ns = frame.meta.pop("_obs_wire_ns", frame.born_ns)
+                    if ctx is not None:
+                        self.obs.record("wire.resp", "net", ctx,
+                                        wire_ns, self.sim.now)
+                    self.obs.finish(root)
             try:
                 results = unmarshal_args(message.payload) if message.payload else []
             except Exception:

@@ -65,6 +65,47 @@ def test_code_change_invalidates_only_importers(tmp_path):
         target.write_bytes(original)
 
 
+def test_key_includes_active_fault_plan(tmp_path):
+    from repro.faults.context import active
+    from repro.faults.plan import FaultPlan
+
+    cache = ResultCache(root=tmp_path)
+    spec = _spec()
+    calm_key = cache.key(spec)
+
+    with active(FaultPlan.from_spec("default")):
+        default_key = cache.key(spec)
+        assert cache.key(spec) == default_key  # stable under one plan
+    assert default_key != calm_key
+
+    # Distinct specs key separately; re-entering a spec reproduces it.
+    with active(FaultPlan.from_spec("loss=0.01")):
+        low_loss_key = cache.key(spec)
+    with active(FaultPlan.from_spec("loss=0.02")):
+        assert cache.key(spec) != low_loss_key
+    with active(FaultPlan.from_spec("loss=0.01")):
+        assert cache.key(spec) == low_loss_key
+
+    # An all-zero plan is behaviourally a no-plan run and keys as one.
+    with active(FaultPlan()):
+        assert cache.key(spec) == calm_key
+
+
+def test_faulty_results_cached_separately(tmp_path):
+    from repro.faults.context import active
+    from repro.faults.plan import FaultPlan
+
+    cache = ResultCache(root=tmp_path)
+    spec = _spec(fn="repro.experiments.report:fmt_ns", value_ns=1.0)
+    calm = execute_job(spec)
+    cache.store(spec, calm)
+    with active(FaultPlan.from_spec("default")):
+        assert cache.lookup(spec) is None  # calm result must not leak in
+        cache.store(spec, execute_job(spec))
+        assert cache.lookup(spec) is not None
+    assert cache.lookup(spec) is not None  # calm entry still intact
+
+
 def test_fingerprint_stable_within_process():
     assert (code_fingerprint("repro.experiments.model_check")
             == code_fingerprint("repro.experiments.model_check"))

@@ -62,6 +62,31 @@ def test_latency_recorder_empty_summary_raises():
         LatencyRecorder().summary()
 
 
+def test_latency_recorder_summary_or_none():
+    recorder = LatencyRecorder("t")
+    assert recorder.summary_or_none() is None
+    recorder.record(5.0)
+    summary = recorder.summary_or_none()
+    assert summary is not None and summary.count == 1
+
+
+def test_latency_recorder_sort_cache_invalidated_on_insert():
+    recorder = LatencyRecorder("t")
+    recorder.extend([3.0, 1.0, 2.0])
+    first = recorder.summary()
+    assert (first.minimum, first.maximum) == (1.0, 3.0)
+    # Repeated summaries reuse the cached sorted view...
+    assert recorder.summary() == first
+    # ...and both insertion paths invalidate it.
+    recorder.record(0.5)
+    assert recorder.summary().minimum == 0.5
+    recorder.extend([10.0])
+    assert recorder.summary().maximum == 10.0
+    # Direct appends to .samples (legacy callers) are also caught.
+    recorder.samples.append(20.0)
+    assert recorder.summary().maximum == 20.0
+
+
 def test_core_energy_states_ordered():
     machine = Machine(ENZIAN)
     core = machine.cores[0]

@@ -54,6 +54,40 @@ def test_ring_capacity_eviction():
     assert [t.tag for t in ring.completed] == [2, 3]
 
 
+def test_ring_tag_reuse_retires_stale_timeline():
+    ring = TelemetryRing()
+    ring.on_arrival(5, 1, 0.0)
+    ring.on_delivery(5, 1.0, False)
+    # A retransmission reuses the tag before the original completed:
+    # the stale timeline must be retired, not silently overwritten.
+    ring.on_arrival(5, 1, 10.0)
+    assert ring.reused == 1
+    assert len(ring.completed) == 1
+    stale = ring.completed[0]
+    assert stale.arrived_ns == 0.0 and stale.sent_ns is None
+    # The fresh timeline is intact and completes normally.
+    ring.on_delivery(5, 11.0, True)
+    ring.on_completion(5, 12.0)
+    ring.on_sent(5, 13.0)
+    assert len(ring.completed) == 2
+    fresh = ring.completed[-1]
+    assert fresh.arrived_ns == 10.0 and fresh.total_ns == 3.0
+    assert ring.dropped == 0
+
+
+def test_ring_reuse_eviction_keeps_dropped_exact():
+    ring = TelemetryRing(capacity=1)
+    ring.on_arrival(1, 1, 0.0)
+    ring.on_arrival(1, 1, 5.0)   # retires the stale entry (ring now full)
+    ring.on_arrival(2, 1, 6.0)
+    ring.on_sent(2, 7.0)          # retiring tag 2 evicts the stale entry
+    ring.on_sent(1, 8.0)          # retiring tag 1 evicts tag 2's
+    assert ring.reused == 1
+    assert ring.dropped == 2
+    assert len(ring.completed) == 1
+    assert ring.completed[0].tag == 1
+
+
 def test_ring_rejects_bad_capacity():
     with pytest.raises(ValueError):
         TelemetryRing(capacity=0)

@@ -1,0 +1,102 @@
+"""Exporters: Chrome trace-event JSON, schema validation, summaries."""
+
+import json
+
+from repro.obs.export import (
+    chrome_trace_events,
+    export_chrome_trace,
+    render_critical_path,
+    render_stage_summary,
+    stage_attribution,
+    validate_chrome_trace,
+)
+from repro.obs.spans import Span, SpanRecorder
+from repro.sim.engine import Simulator
+
+
+def _sample_spans():
+    rec = SpanRecorder(Simulator())
+    root = rec.start_trace("rpc", "client", request_id=1)
+    rec.record("wire.req", "net", root.ctx, 0.0, 4000.0)
+    rec.record("nic.rx", "nic", root.ctx, 4000.0, 4500.0, queue=0)
+    rec.sim.now = 12_000.0
+    rec.finish(root)
+    return rec.spans
+
+
+def test_chrome_events_shape_and_units():
+    events = chrome_trace_events(_sample_spans(), pid=3, process_name="lb")
+    meta = [e for e in events if e["ph"] == "M"]
+    slices = [e for e in events if e["ph"] == "X"]
+    assert meta[0]["args"]["name"] == "lb"
+    assert len(slices) == 3
+    wire = next(e for e in slices if e["name"] == "wire.req")
+    assert wire["ts"] == 0.0 and wire["dur"] == 4.0  # ns -> us
+    assert wire["cat"] == "net"
+    assert all(e["pid"] == 3 for e in events)
+    rx = next(e for e in slices if e["name"] == "nic.rx")
+    assert rx["args"]["queue"] == 0
+    assert rx["args"]["parent_id"] == 1
+
+
+def test_chrome_events_skip_open_spans():
+    rec = SpanRecorder(Simulator())
+    rec.start_trace("rpc", "client")  # never finished
+    events = chrome_trace_events(rec.spans)
+    assert not [e for e in events if e["ph"] == "X"]
+
+
+def test_chrome_events_accept_span_dicts():
+    spans = [span.as_dict() for span in _sample_spans()]
+    from_dicts = chrome_trace_events(spans)
+    from_objects = chrome_trace_events(_sample_spans())
+    assert from_dicts == from_objects
+
+
+def test_export_and_validate_roundtrip(tmp_path):
+    path = tmp_path / "trace.json"
+    payload = export_chrome_trace(str(path), {
+        "linux": _sample_spans(),
+        "lauberhorn": [s.as_dict() for s in _sample_spans()],
+    })
+    assert validate_chrome_trace(payload) == []
+    on_disk = json.loads(path.read_text())
+    assert on_disk == payload
+    assert on_disk["displayTimeUnit"] == "ns"
+    pids = {e["pid"] for e in on_disk["traceEvents"]}
+    assert pids == {1, 2}  # one process row per stack
+
+
+def test_validate_catches_schema_violations():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({}) == ["missing traceEvents array"]
+    assert "traceEvents is empty" in validate_chrome_trace(
+        {"traceEvents": []})[0]
+    bad_phase = {"traceEvents": [{"ph": "Q", "name": "x", "pid": 1, "tid": 1}]}
+    assert any("unknown phase" in p for p in validate_chrome_trace(bad_phase))
+    negative = {"traceEvents": [
+        {"ph": "X", "name": "x", "cat": "c", "pid": 1, "tid": 1,
+         "ts": -1.0, "dur": 2.0},
+    ]}
+    assert any("negative" in p for p in validate_chrome_trace(negative))
+    missing_dur = {"traceEvents": [
+        {"ph": "X", "name": "x", "cat": "c", "pid": 1, "tid": 1, "ts": 1.0},
+    ]}
+    assert any("dur" in p for p in validate_chrome_trace(missing_dur))
+
+
+def test_stage_attribution_counts_and_means():
+    attribution = stage_attribution(_sample_spans() + _sample_spans())
+    count, mean = attribution["wire.req"]
+    assert count == 2 and mean == 4000.0
+    assert attribution["rpc"][1] == 12_000.0
+
+
+def test_render_stage_summary_and_critical_path():
+    spans = _sample_spans()
+    summary = render_stage_summary(spans, title="linux")
+    assert "linux" in summary and "wire.req" in summary and "%" in summary
+    assert render_stage_summary([], title="x").endswith("no finished spans")
+    path = render_critical_path(spans)
+    assert "critical path" in path
+    assert "wire.req" in path and "nic.rx" in path

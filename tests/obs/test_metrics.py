@@ -1,0 +1,115 @@
+"""Metrics registry: instruments, live probes, testbed binding."""
+
+from dataclasses import dataclass
+
+from repro.experiments.four_stacks import _build_stack
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry
+
+
+def test_counter_and_gauge_basics():
+    registry = MetricsRegistry()
+    requests = registry.counter("rx.requests")
+    requests.inc()
+    requests.inc(4)
+    depth = registry.gauge("rx.depth")
+    depth.set(17)
+    snapshot = registry.snapshot()
+    assert snapshot["rx.requests"] == 5
+    assert snapshot["rx.depth"] == 17
+
+
+def test_instruments_are_memoised_by_name():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.gauge("g") is registry.gauge("g")
+    assert registry.histogram("h") is registry.histogram("h")
+    assert isinstance(registry.counter("a"), Counter)
+    assert isinstance(registry.gauge("g"), Gauge)
+
+
+def test_callable_gauge_reads_live():
+    registry = MetricsRegistry()
+    box = {"value": 1}
+    registry.gauge("live", fn=lambda: box["value"])
+    assert registry.snapshot()["live"] == 1
+    box["value"] = 9
+    assert registry.snapshot()["live"] == 9
+
+
+def test_histogram_summary_rows_appear_when_nonempty():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("rtt")
+    assert "rtt.count" not in registry.snapshot()  # empty: no rows
+    histogram.extend([1.0, 2.0, 3.0])
+    snapshot = registry.snapshot()
+    assert snapshot["rtt.count"] == 3
+    assert snapshot["rtt.mean"] == 2.0
+    assert snapshot["rtt.min"] == 1.0 and snapshot["rtt.max"] == 3.0
+
+
+def test_bind_exposes_numeric_fields_live():
+    @dataclass
+    class Stats:
+        rx: int = 0
+        dropped: int = 0
+        label: str = "ignored"      # non-numeric: excluded
+        _secret: int = 42           # underscore: excluded
+
+    registry = MetricsRegistry()
+    stats = Stats()
+    registry.bind("nic", stats)
+    assert registry.snapshot()["nic.rx"] == 0
+    stats.rx = 7
+    stats.dropped = 2
+    snapshot = registry.snapshot()
+    assert snapshot["nic.rx"] == 7 and snapshot["nic.dropped"] == 2
+    assert "nic.label" not in snapshot and "nic._secret" not in snapshot
+
+
+def test_probe_namespacing():
+    registry = MetricsRegistry()
+    registry.probe("a", lambda: {"x": 1})
+    registry.probe("b", lambda: {"x": 2})
+    snapshot = registry.snapshot()
+    assert snapshot["a.x"] == 1 and snapshot["b.x"] == 2
+
+
+def test_bind_testbed_metrics_covers_every_layer():
+    from repro.obs.instrument import bind_testbed_metrics
+
+    bed, service, method = _build_stack("linux")
+    registry = bind_testbed_metrics(bed)
+    snapshot = registry.snapshot()
+    # One registry sees hardware, kernel, NIC, netstack, switch, client.
+    assert "machine.busy_ns" in snapshot
+    assert "machine.core0.instructions" in snapshot
+    assert "kernel.syscalls" in snapshot
+    assert "nic.rx_frames" in snapshot
+    assert "netstack.rx_parse_errors" in snapshot
+    assert f"netstack.udp{service.udp_port}.queue_depth" in snapshot
+    assert "switch.unknown_dst_drops" in snapshot
+    assert "client0.outstanding" in snapshot
+    # Live: counters move when the system runs.
+    client = bed.clients[0]
+
+    def driver():
+        yield bed.sim.timeout(10_000)
+        yield from client.call(args=[1], **bed.call_args(service, method))
+
+    bed.sim.process(driver())
+    bed.machine.run(until=50_000_000)
+    after = registry.snapshot()
+    assert after["nic.rx_frames"] > 0
+    assert after["kernel.syscalls"] > 0
+    assert after["machine.busy_ns"] > 0
+
+
+def test_bind_testbed_metrics_lauberhorn_exposes_telemetry():
+    from repro.obs.instrument import bind_testbed_metrics
+
+    bed, service, method = _build_stack("lauberhorn")
+    registry = bind_testbed_metrics(bed, prefix="lb")
+    snapshot = registry.snapshot()
+    assert "lb.nic.telemetry.completed" in snapshot
+    assert "lb.machine.busy_ns" in snapshot
+    assert "lb.kernel.context_switches" in snapshot
