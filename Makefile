@@ -12,7 +12,7 @@
 #                      baseline; fails on a >5% events/sec regression
 #   bench-runall       serial-vs-parallel + cold-vs-warm-cache wall clock
 #                      for the experiment runner -> BENCH_runall.json
-#   run-all            all 20 experiments, serial (bit-for-bit the
+#   run-all            all 21 experiments, serial (bit-for-bit the
 #                      historical output)
 #   run-all-par        the same artifact fanned out over REPRO_JOBS
 #                      workers (default 4); tables are identical
@@ -20,8 +20,12 @@
 #                      under its own keys — the plan is in the cache key)
 #   run-e20            the observability experiment alone: per-stage
 #                      attribution + overhead + results/e20_trace.json
+#   run-e21            timelines/flight/tail forensics alone ->
+#                      results/e21_timeline.json
 #   trace-export       Perfetto/Chrome-trace artifact for all four
 #                      stacks -> results/e20_trace.json (schema-checked)
+#   dashboard          self-contained HTML from the E21 artifact ->
+#                      results/e21_dashboard.html (schema-checked)
 PYTHON ?= python
 export PYTHONPATH := src
 REPRO_JOBS ?= 4
@@ -30,7 +34,8 @@ COVER_MIN ?= 92
 
 .PHONY: test test-fast test-props test-faults regen-golden coverage \
 	bench-engine bench-engine-quick bench-guard bench-runall \
-	run-all run-all-par run-all-faults run-e20 trace-export
+	run-all run-all-par run-all-faults run-e20 run-e21 trace-export \
+	dashboard
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -79,5 +84,12 @@ run-all-faults:
 run-e20:
 	$(PYTHON) -m repro.experiments.run_all e20
 
+run-e21:
+	$(PYTHON) -m repro.experiments.run_all e21
+
 trace-export:
 	$(PYTHON) tools/trace_export.py --all --out results/e20_trace.json --validate
+
+# Needs results/e21_timeline.json (make run-e21 writes it).
+dashboard:
+	$(PYTHON) tools/dashboard.py --validate --out results/e21_dashboard.html

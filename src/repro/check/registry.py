@@ -60,6 +60,13 @@ class CheckRegistry:
         self.violations: list[Violation] = []
         self.samples = 0
         self.finished = False
+        #: optional :class:`repro.obs.flight.FlightRecorder`; when set,
+        #: the first recorded violation freezes a post-mortem dump of
+        #: the flight ring into :attr:`flight_dump` (and to
+        #: :attr:`flight_dump_path` as JSON, if a path is set)
+        self.flight = None
+        self.flight_dump_path: Optional[str] = None
+        self.flight_dump: Optional[dict] = None
 
     # -- registration ---------------------------------------------------
 
@@ -78,12 +85,38 @@ class CheckRegistry:
     def _record(self, name: str, problems: Optional[Iterable[str]]) -> None:
         if not problems:
             return
+        recorded = False
         for detail in problems:
             if len(self.violations) >= MAX_VIOLATIONS:
-                return
+                break
             self.violations.append(
                 Violation(name=name, time_ns=self.sim.now, detail=detail)
             )
+            recorded = True
+        if recorded and self.flight is not None and self.flight_dump is None:
+            self._dump_flight(self.violations[-1])
+
+    def _dump_flight(self, trigger: Violation) -> None:
+        """Freeze the flight ring at the first violation (post-mortem).
+
+        The dump is taken exactly once — at the *first* violation — so
+        it shows the system in the moments leading up to the failure,
+        not after a possibly long cascade.  The violation itself is
+        noted into the ring first, so the dump records its own trigger.
+        """
+        flight = self.flight
+        flight.note("invariant.violation", check=trigger.name,
+                    detail=trigger.detail)
+        reason = {
+            "check": trigger.name,
+            "time_ns": trigger.time_ns,
+            "detail": trigger.detail,
+        }
+        if self.flight_dump_path is not None:
+            self.flight_dump = flight.dump_json(self.flight_dump_path,
+                                                reason=reason)
+        else:
+            self.flight_dump = flight.dump(reason=reason)
 
     def check_now(self) -> None:
         """Evaluate every sampled check at the current instant."""
@@ -97,13 +130,8 @@ class CheckRegistry:
         The bound matters: an unbounded ticker would keep the event
         queue populated forever and break run-to-exhaustion callers.
         """
-
-        def sampler():
-            while self.sim.now + self.interval_ns < horizon_ns:
-                yield self.sim.timeout(self.interval_ns)
-                self.check_now()
-
-        self.sim.process(sampler(), name="invariant-sampler")
+        self.sim.periodic(self.interval_ns, self.check_now, horizon_ns,
+                          name="invariant-sampler")
 
     def finish(self) -> list[Violation]:
         """Run the final sweep: sampled checks plus quiesce checks."""

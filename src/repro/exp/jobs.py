@@ -25,6 +25,7 @@ from typing import Any, Callable, Optional
 
 from ..experiments import crossover as _crossover
 from ..experiments import dynamic_mix as _dynamic_mix
+from ..experiments import e21_timeline as _timeline
 from ..experiments import fault_sweep as _fault_sweep
 from ..experiments import four_stacks as _four_stacks
 from ..experiments import load_sweep as _load_sweep
@@ -254,6 +255,28 @@ def _assemble_obs(values: list[Any]) -> Any:
     return jsonable(results)
 
 
+def _timeline_jobs(root_seed: int) -> list[JobSpec]:
+    return [
+        _seeded_spec(
+            f"e21/{stack}", "e21",
+            f"{_EXP}.e21_timeline:measure_timeline_stack",
+            _point_seed(root_seed, "e21", stack),
+            stack=stack,
+        )
+        for stack in _four_stacks.STACKS
+    ]
+
+
+def _assemble_timeline(values: list[Any]) -> Any:
+    results = [_timeline.TimelineResult(**v) for v in values]
+    _timeline.render_timeline(results)
+    payload = _timeline.write_timeline_artifact(results)
+    _timeline.validate_timeline_payload(payload)
+    print(f"\n[wrote {_timeline.TIMELINE_ARTIFACT}: "
+          f"{len(payload['stacks'])} stacks]")
+    return jsonable(results)
+
+
 def _points(name: str, title: str, build_jobs, assemble) -> ExperimentSpec:
     return ExperimentSpec(name=name, title=title, build_jobs=build_jobs,
                           assemble=assemble)
@@ -304,6 +327,9 @@ EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
                 _fault_sweep_jobs, _assemble_fault_sweep),
         _points("e20", "Observability — span attribution & overhead",
                 _obs_jobs, _assemble_obs),
+        _points("e21", "Time-series telemetry, flight recorder & "
+                       "tail forensics",
+                _timeline_jobs, _assemble_timeline),
     ]
 }
 

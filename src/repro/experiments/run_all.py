@@ -1,4 +1,4 @@
-"""Run every experiment (E1-E20) and print the paper-shaped output.
+"""Run every experiment (E1-E21) and print the paper-shaped output.
 
 Usage::
 
@@ -40,6 +40,7 @@ from ..exp.pool import default_jobs, jsonable as _jsonable
 from .ablation import run_crypto_ablation, run_deserialize_ablation
 from .crossover import run_crossover
 from .dynamic_mix import run_dynamic_mix
+from .e21_timeline import run_timeline
 from .fault_sweep import run_fault_sweep
 from .fig1_steps import run_fig1_steps
 from .fig2_roundtrip import run_fig2
@@ -85,6 +86,7 @@ _SERIAL = {
     "e18": lambda: run_sensitivity(),
     "e19": lambda: run_fault_sweep(),
     "e20": lambda: run_obs_attribution(),
+    "e21": lambda: run_timeline(),
 }
 
 EXPERIMENTS = {

@@ -87,13 +87,19 @@ class LinkFaultInjector:
         self.cfg = cfg
         self.rng = rng
         self.stats = stats
+        #: optional flight recorder (set by repro.obs.instrument.arm_flight);
+        #: None keeps fate() free of any observability work
+        self.flight = None
 
     def fate(self, link, frame):
         cfg = self.cfg
         rng = self.rng
+        flight = self.flight
         if cfg.loss_rate and rng.random() < cfg.loss_rate:
             link.stats.fault_lost += 1
             self.stats.frames_lost += 1
+            if flight is not None:
+                flight.note("fault.loss", link=link.name)
             if link.on_drop is not None:
                 link.on_drop(link, frame, "fault-loss")
             return ()
@@ -102,15 +108,22 @@ class LinkFaultInjector:
             delivered = _corrupt_frame(frame, rng)
             link.stats.fault_corrupted += 1
             self.stats.frames_corrupted += 1
+            if flight is not None:
+                flight.note("fault.corrupt", link=link.name)
         extra = 0.0
         if cfg.reorder_rate and rng.random() < cfg.reorder_rate:
             extra = cfg.reorder_delay_ns
             link.stats.fault_reordered += 1
             self.stats.frames_reordered += 1
+            if flight is not None:
+                flight.note("fault.reorder", link=link.name,
+                            delay_ns=extra)
         deliveries = [(delivered, extra)]
         if cfg.duplicate_rate and rng.random() < cfg.duplicate_rate:
             link.stats.fault_duplicated += 1
             self.stats.frames_duplicated += 1
+            if flight is not None:
+                flight.note("fault.duplicate", link=link.name)
             deliveries.append((delivered, extra))
         return deliveries
 
@@ -137,6 +150,10 @@ def install_nic_faults(nic, plan: FaultPlan, stats: InjectionStats) -> None:
     def rx_stall():
         if rng.random() < cfg.ring_stall_rate:
             stats.ring_stalls += 1
+            flight = getattr(nic, "flight", None)
+            if flight is not None:
+                flight.note("fault.ring_stall", nic=nic.name,
+                            stall_ns=cfg.ring_stall_ns)
             yield sim.timeout(cfg.ring_stall_ns)
         return None
 

@@ -92,6 +92,9 @@ class Machine:
             "stall_ns": self.total_stall_ns(),
             "instructions": self.total_instructions(),
             "now_ns": self.sim.now,
+            # Live event-queue depth: a window probe for the
+            # time-series layer (pending timers track in-flight work).
+            "event_queue": len(self.sim._heap),
         })
         for core in self.cores:
             registry.bind(f"{prefix}.core{core.id}", core.counters)

@@ -47,6 +47,9 @@ class BaseNic:
         #: optional span recorder (repro.obs.spans.SpanRecorder); None
         #: means every hook is a single attribute test
         self.obs = None
+        #: optional flight recorder (repro.obs.flight.FlightRecorder),
+        #: same None-guarded contract as ``obs``
+        self.flight = None
         self._tx_engine: Store = Store(self.sim, name=f"{name}.txq")
         self._started = False
 
@@ -95,6 +98,11 @@ class BaseNic:
     def bind_metrics(self, registry, prefix: str = "nic") -> None:
         """Register this device's stats with a metrics registry."""
         registry.bind(prefix, self.stats)
+        # TX-engine occupancy: every flavour shares this ring, so the
+        # time-series layer gets a NIC occupancy window probe for free.
+        registry.probe(prefix, lambda: {
+            "txq_depth": len(self._tx_engine),
+        })
 
     # -- subclass responsibilities ------------------------------------------------
 

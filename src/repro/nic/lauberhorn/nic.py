@@ -265,6 +265,8 @@ class LauberhornNic(BaseNic, HomeDevice):
             yield self.sim.timeout(self.params.compose_line_ns)
             ep.stats.tryagains += 1
             self.lstats.tryagains += 1
+            if self.flight is not None:
+                self.flight.note("nic.tryagain", endpoint=ep.id, reason="race")
             event.succeed(
                 FillResponse(data=wire.tryagain_line(self.line_bytes))
             )
@@ -314,6 +316,8 @@ class LauberhornNic(BaseNic, HomeDevice):
         yield self.sim.timeout(self.params.compose_line_ns)
         ep.stats.tryagains += 1
         self.lstats.tryagains += 1
+        if self.flight is not None:
+            self.flight.note("nic.tryagain", endpoint=ep.id, reason="timeout")
         event.succeed(FillResponse(data=wire.tryagain_line(self.line_bytes)))
         return None
 
@@ -327,6 +331,8 @@ class LauberhornNic(BaseNic, HomeDevice):
         ep.generation += 1
         ep.stats.tryagains += 1
         self.lstats.tryagains += 1
+        if self.flight is not None:
+            self.flight.note("nic.tryagain", endpoint=ep.id, reason="preempt")
         event.succeed(FillResponse(data=wire.tryagain_line(self.line_bytes)))
         return True
 

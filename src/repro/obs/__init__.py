@@ -15,6 +15,17 @@ This package generalises that story to *all* the reproduction's stacks:
   ``net/link.py``, and the NIC models.
 * :mod:`repro.obs.export` — Chrome-trace/Perfetto JSON (loadable at
   ``ui.perfetto.dev``) plus text flame/critical-path summaries.
+* :mod:`repro.obs.timeseries` — a Monarch-style windowed sampler: a
+  sim-timer reads the registry snapshot every W ns into a bounded ring
+  of fixed-width windows (exact ``dropped_windows`` accounting), with
+  derived per-window rates for counters.
+* :mod:`repro.obs.flight` — a bounded flight recorder of recent
+  annotated events (span opens/closes, fault injections, scheduler
+  decisions, Tryagain bounces) that the invariant checker dumps to
+  JSON the moment a violation is recorded.
+* :mod:`repro.obs.tail` — tail forensics: joins p99/p99.9 span trees
+  with the time-series windows they overlap, attributing each slow
+  request to the concurrent system state.
 * :mod:`repro.obs.instrument` — one-call arming of a
   :class:`~repro.experiments.testbed.Testbed`.
 
@@ -31,9 +42,12 @@ from .export import (
     render_stage_summary,
     validate_chrome_trace,
 )
-from .instrument import arm_testbed, bind_testbed_metrics
-from .metrics import REGISTRY, Counter, Gauge, MetricsRegistry
+from .flight import FlightRecorder
+from .instrument import arm_flight, arm_testbed, bind_testbed_metrics
+from .metrics import REGISTRY, Counter, Gauge, MetricsCollision, MetricsRegistry
 from .spans import Span, SpanRecorder, public_meta
+from .tail import render_tail_report, slow_roots, tail_report
+from .timeseries import TimeSeriesSampler, Window
 
 __all__ = [
     "Span",
@@ -42,12 +56,20 @@ __all__ = [
     "Counter",
     "Gauge",
     "MetricsRegistry",
+    "MetricsCollision",
     "REGISTRY",
+    "TimeSeriesSampler",
+    "Window",
+    "FlightRecorder",
+    "slow_roots",
+    "tail_report",
+    "render_tail_report",
     "chrome_trace_events",
     "export_chrome_trace",
     "validate_chrome_trace",
     "render_stage_summary",
     "render_critical_path",
     "arm_testbed",
+    "arm_flight",
     "bind_testbed_metrics",
 ]

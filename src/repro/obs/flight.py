@@ -1,0 +1,109 @@
+"""A flight recorder: the last N annotated events, for post-mortems.
+
+Spans tell you where a request went; time series tell you what the
+system looked like over time.  What neither gives you is **what just
+happened** when something goes wrong — the black-box recording a crash
+investigator reads back.  A :class:`FlightRecorder` is a bounded ring
+of recent annotated events:
+
+* span opens/closes (fed by :class:`~repro.obs.spans.SpanRecorder`
+  when its ``flight`` attribute is set);
+* fault injections (wire loss/corruption/reorder/duplication, RX ring
+  stalls — fed by :mod:`repro.faults.inject`);
+* scheduler dispatch decisions (fed by :class:`repro.os.kernel.Kernel`);
+* Lauberhorn Tryagain bounces (fed by the NIC).
+
+Every feed is guarded by an ``is None`` test at the call site, so an
+unarmed run pays one attribute check per would-be event — the same
+zero-cost-when-disabled contract spans honour.  Recording is pure
+host-side bookkeeping (an append to a deque); arming a flight recorder
+never perturbs simulated time.
+
+The ring is the point: a recorder with ``capacity=512`` holds the 512
+*most recent* events no matter how long the run, with an exact
+:attr:`dropped` count, so the dump :class:`repro.check.CheckRegistry`
+takes on an invariant violation shows the moments *before* the
+violation, not the beginning of time.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Optional
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Ring-bounded recent-event log over one simulator."""
+
+    def __init__(self, sim, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError(f"need a positive capacity, got {capacity}")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self.events: deque[tuple[float, str, dict]] = deque()
+        #: events evicted from the ring (exact)
+        self.dropped = 0
+        #: events ever recorded (== len(events) + dropped)
+        self.recorded = 0
+
+    # -- recording ------------------------------------------------------------
+
+    def note(self, kind: str, **fields: Any) -> None:
+        """Append one annotated event at the current sim time."""
+        self.recorded += 1
+        events = self.events
+        if len(events) >= self.capacity:
+            events.popleft()
+            self.dropped += 1
+        events.append((self.sim.now, kind, fields))
+
+    # -- queries --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def snapshot(self) -> list[dict]:
+        """Retained events as JSON-able dicts, oldest first."""
+        return [
+            {"time_ns": time_ns, "kind": kind, "fields": dict(fields)}
+            for time_ns, kind, fields in self.events
+        ]
+
+    def events_between(self, start_ns: float, end_ns: float) -> list[dict]:
+        """Retained events with ``start_ns <= time <= end_ns``."""
+        return [
+            {"time_ns": time_ns, "kind": kind, "fields": dict(fields)}
+            for time_ns, kind, fields in self.events
+            if start_ns <= time_ns <= end_ns
+        ]
+
+    def kinds(self) -> dict[str, int]:
+        """``{event kind: retained count}`` — the dump's table of contents."""
+        counts: dict[str, int] = {}
+        for _, kind, _ in self.events:
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    # -- dumping --------------------------------------------------------------
+
+    def dump(self, reason: Optional[dict] = None) -> dict:
+        """The full post-mortem payload (JSON-able)."""
+        return {
+            "time_ns": self.sim.now,
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "kinds": self.kinds(),
+            "reason": reason,
+            "events": self.snapshot(),
+        }
+
+    def dump_json(self, path: str, reason: Optional[dict] = None) -> dict:
+        """Write :meth:`dump` to ``path``; returns the payload."""
+        payload = self.dump(reason=reason)
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=1)
+        return payload

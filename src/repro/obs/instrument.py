@@ -12,10 +12,11 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .flight import FlightRecorder
 from .metrics import MetricsRegistry
 from .spans import SpanRecorder
 
-__all__ = ["arm_testbed", "bind_testbed_metrics"]
+__all__ = ["arm_testbed", "arm_flight", "bind_testbed_metrics"]
 
 
 def arm_testbed(bed, recorder: Optional[SpanRecorder] = None) -> SpanRecorder:
@@ -28,6 +29,32 @@ def arm_testbed(bed, recorder: Optional[SpanRecorder] = None) -> SpanRecorder:
     if bed.netstack is not None:
         bed.netstack.obs = recorder
     return recorder
+
+
+def arm_flight(bed, flight: Optional[FlightRecorder] = None,
+               recorder: Optional[SpanRecorder] = None,
+               capacity: int = 512) -> FlightRecorder:
+    """Attach one flight recorder to every event source in a testbed.
+
+    Feeds: scheduler dispatch decisions (kernel), Tryagain bounces and
+    ring stalls (NIC), wire fault injections (link injectors, when a
+    fault plan is active), and — when ``recorder`` is passed — span
+    opens/closes.  Pair with ``checks.flight = flight`` to get the
+    dump-on-violation post-mortem.
+    """
+    if flight is None:
+        flight = FlightRecorder(bed.sim, capacity=capacity)
+    bed.nic.flight = flight
+    if bed.kernel is not None:
+        bed.kernel.flight = flight
+    for port in bed.switch.ports.values():
+        for link in (port.ingress, port.egress):
+            injector = getattr(link, "fault", None)
+            if injector is not None:
+                injector.flight = flight
+    if recorder is not None:
+        recorder.flight = flight
+    return flight
 
 
 def bind_testbed_metrics(bed, registry: Optional[MetricsRegistry] = None,

@@ -22,11 +22,17 @@ an assembled testbed.
 from __future__ import annotations
 
 import dataclasses
+import weakref
 from typing import Any, Callable, Optional
 
 from ..metrics.histogram import LatencyRecorder
 
-__all__ = ["Counter", "Gauge", "MetricsRegistry", "REGISTRY"]
+__all__ = ["Counter", "Gauge", "MetricsCollision", "MetricsRegistry",
+           "REGISTRY"]
+
+
+class MetricsCollision(ValueError):
+    """Two instruments produced the same snapshot key (strict mode)."""
 
 
 class Counter:
@@ -66,7 +72,15 @@ def _numeric_fields(obj) -> dict[str, Any]:
         pairs = ((f.name, getattr(obj, f.name))
                  for f in dataclasses.fields(obj))
     else:
-        pairs = vars(obj).items()
+        try:
+            pairs = vars(obj).items()
+        except TypeError:
+            # __slots__ types have no __dict__; walk the slot names
+            # declared anywhere in the MRO instead.
+            pairs = ((name, getattr(obj, name))
+                     for klass in type(obj).__mro__
+                     for name in getattr(klass, "__slots__", ())
+                     if hasattr(obj, name))
     return {name: value for name, value in pairs
             if isinstance(value, (int, float)) and not name.startswith("_")}
 
@@ -79,6 +93,8 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, LatencyRecorder] = {}
         self._probes: list[tuple[str, Callable[[], dict]]] = []
+        #: key collisions detected by the most recent :meth:`snapshot`
+        self.collisions = 0
 
     # -- instrument factories (memoised by name) ------------------------------
 
@@ -110,32 +126,97 @@ class MetricsRegistry:
         self._probes.append((prefix, fn))
 
     def bind(self, prefix: str, obj) -> None:
-        """Expose a stats object's numeric fields as live gauges."""
-        self.probe(prefix, lambda obj=obj: _numeric_fields(obj))
+        """Expose a stats object's numeric fields as live gauges.
+
+        The probe holds only a *weak* reference to ``obj`` (when the
+        type allows one): a registry must never be what keeps a whole
+        testbed alive — long-lived registries over short-lived runs
+        were exactly the leak that pinned testbeds across
+        ``repro.exp`` pool jobs.  Once the stats object is collected
+        the probe contributes nothing.
+        """
+        try:
+            ref = weakref.ref(obj)
+        except TypeError:
+            # Not weak-referenceable (slots without __weakref__):
+            # fall back to a strong reference.
+            self.probe(prefix, lambda obj=obj: _numeric_fields(obj))
+            return
+
+        def read(ref=ref) -> dict:
+            target = ref()
+            return _numeric_fields(target) if target is not None else {}
+
+        self.probe(prefix, read)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop every instrument and probe (cross-run hygiene).
+
+        Experiments should prefer a fresh per-run registry; ``reset``
+        exists for the process-wide :data:`REGISTRY` and long-lived
+        harnesses, so ad-hoc bindings from one run cannot leak stats
+        objects — or stale numbers — into the next.
+        """
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._probes.clear()
+        self.collisions = 0
 
     # -- the one call everything funnels into ---------------------------------
 
-    def snapshot(self) -> dict[str, Any]:
+    def snapshot(self, strict: bool = False) -> dict[str, Any]:
         """Flat ``{"prefix.name": value}`` view of every instrument.
 
         Histograms contribute their summary row (or nothing while
         empty, via :meth:`LatencyRecorder.summary_or_none`).
+
+        The namespace is flat, so a ``probe()``/``bind()`` prefix can
+        produce a key that an owned instrument (or another probe)
+        already claimed.  Collisions are detected here, at snapshot
+        time: the **last writer wins**, deterministically — sources
+        contribute in the fixed order counters, gauges, histogram
+        rows, then probes in registration order — the collision count
+        lands in :attr:`collisions` and, when non-zero, in the
+        snapshot itself under ``"metrics.collisions"``.  Check
+        harnesses pass ``strict=True`` to raise
+        :class:`MetricsCollision` instead of silently overwriting.
         """
         out: dict[str, Any] = {}
+        collided: list[str] = []
+
+        def put(key: str, value: Any) -> None:
+            if key in out:
+                collided.append(key)
+            out[key] = value
+
         for name, counter in self._counters.items():
             out[name] = counter.value
         for name, gauge in self._gauges.items():
-            out[name] = gauge.value
+            put(name, gauge.value)
         for name, recorder in self._histograms.items():
             summary = recorder.summary_or_none()
             if summary is not None:
                 for stat, value in summary.row().items():
-                    out[f"{name}.{stat}"] = value
+                    put(f"{name}.{stat}", value)
         for prefix, fn in self._probes:
             for name, value in fn().items():
-                out[f"{prefix}.{name}"] = value
+                put(f"{prefix}.{name}", value)
+        self.collisions = len(collided)
+        if collided:
+            if strict:
+                raise MetricsCollision(
+                    f"{len(collided)} snapshot key collision(s): "
+                    + ", ".join(sorted(set(collided))))
+            out["metrics.collisions"] = len(collided)
         return out
 
 
-#: Process-wide default registry for code without an explicit one.
+#: Process-wide default registry, reserved for *ad-hoc* use (REPL
+#: poking, one-off scripts).  Experiments and tests must build per-run
+#: registries (``bind_testbed_metrics(bed)`` does) so one run's
+#: bindings cannot leak into — or pin testbeds across — the next;
+#: call :meth:`MetricsRegistry.reset` to scrub this one.
 REGISTRY = MetricsRegistry()

@@ -112,6 +112,10 @@ class SpanRecorder:
         self._by_id: dict[int, Span] = {}
         self._next_trace_id = 1
         self._next_span_id = 1
+        #: optional :class:`repro.obs.flight.FlightRecorder`; when set,
+        #: span opens/closes also land in the flight ring (one ``is
+        #: None`` test per span event, host-side only)
+        self.flight = None
 
     # -- creation -------------------------------------------------------------
 
@@ -123,6 +127,11 @@ class SpanRecorder:
         self._next_span_id += 1
         self.spans.append(span)
         self._by_id[span.span_id] = span
+        flight = self.flight
+        if flight is not None:
+            flight.note("span.open" if end_ns is None else "span",
+                        name=name, layer=layer, trace_id=trace_id,
+                        span_id=span.span_id)
         return span
 
     def start_trace(self, name: str, layer: str, **fields: Any) -> Span:
@@ -146,6 +155,11 @@ class SpanRecorder:
         span.end_ns = self.sim.now
         if fields:
             span.fields.update(fields)
+        flight = self.flight
+        if flight is not None:
+            flight.note("span.close", name=span.name, layer=span.layer,
+                        trace_id=span.trace_id, span_id=span.span_id,
+                        duration_ns=span.duration_ns)
         self._mirror(span)
         return span.duration_ns
 

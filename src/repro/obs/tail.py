@@ -1,0 +1,167 @@
+"""Tail forensics: join slow requests with concurrent system state.
+
+A p99.9 span tree says *where* a slow request spent its time; it does
+not say *why* — was the run queue deep, was the NIC ring full, was a
+fault storm in progress?  This module answers that by joining the
+three observability layers this package records:
+
+* the **span trees** of the slowest requests
+  (:class:`~repro.obs.spans.SpanRecorder`);
+* the **time-series windows** each slow request overlaps
+  (:class:`~repro.obs.timeseries.TimeSeriesSampler`) — run-queue
+  depth, ring/backlog occupancy, utilisation, fault counters *while
+  the request was in flight*;
+* the **flight-recorder events** inside the request's lifetime
+  (:class:`~repro.obs.flight.FlightRecorder`) — scheduler decisions,
+  Tryagain bounces, injected faults.
+
+:func:`tail_report` produces one JSON-able record per slow request;
+:func:`render_tail_report` prints the human version.  Everything here
+is pure post-processing over already-recorded data — nothing touches
+the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+__all__ = ["STATE_PATTERNS", "slow_roots", "tail_report",
+           "render_tail_report"]
+
+#: snapshot-key substrings that count as "concurrent system state" in
+#: the per-request join: run-queue depth, ring/backlog occupancy,
+#: socket queues, idle-core count, Tryagain and fault activity.
+STATE_PATTERNS = (
+    "runnable", "runq", ".depth", "backlog", "queue", "idle_cores",
+    "tryagain", "fault", "drop", "stall",
+)
+
+
+def _percentile_threshold(values: list[float], quantile: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(quantile * len(ordered)))
+    return ordered[index]
+
+
+def slow_roots(recorder, quantile: float = 0.999) -> list:
+    """Finished root spans at or above the ``quantile`` duration.
+
+    Always non-empty when any root finished: the slowest request is its
+    own p-anything, so every report has at least one subject.
+    """
+    roots = [span for span in recorder.roots() if span.finished]
+    if not roots:
+        return []
+    threshold = _percentile_threshold(
+        [span.duration_ns for span in roots], quantile)
+    slow = [span for span in roots if span.duration_ns >= threshold]
+    slow.sort(key=lambda span: (-span.duration_ns, span.trace_id))
+    return slow
+
+
+def _matches(name: str, patterns: Iterable[str]) -> bool:
+    return any(pattern in name for pattern in patterns)
+
+
+def _state_over(windows, patterns) -> dict[str, dict[str, float]]:
+    """``{metric: {min,mean,max}}`` for state keys across windows."""
+    samples: dict[str, list[float]] = {}
+    for window in windows:
+        for name, value in window.values.items():
+            if _matches(name, patterns):
+                samples.setdefault(name, []).append(value)
+    return {
+        name: {
+            "min": min(values),
+            "mean": sum(values) / len(values),
+            "max": max(values),
+        }
+        for name, values in sorted(samples.items())
+    }
+
+
+def tail_report(
+    recorder,
+    sampler,
+    flight=None,
+    quantile: float = 0.999,
+    patterns: Iterable[str] = STATE_PATTERNS,
+    max_requests: int = 16,
+) -> dict[str, Any]:
+    """Per-slow-request forensics joining spans, windows, and flight.
+
+    Every request at or above the ``quantile`` RTT (capped at
+    ``max_requests``, slowest first) gets one record carrying its span
+    breakdown, the time-series windows it overlapped, the state
+    summary over those windows, and the flight events inside its
+    lifetime.  ``windows_missing`` flags requests whose windows were
+    already evicted from the sampler's ring.
+    """
+    roots = [span for span in recorder.roots() if span.finished]
+    durations = [span.duration_ns for span in roots]
+    slow = slow_roots(recorder, quantile)
+    truncated = max(0, len(slow) - max_requests)
+    by_trace = recorder.traces()
+
+    requests = []
+    for root in slow[:max_requests]:
+        windows = sampler.overlapping(root.start_ns, root.end_ns)
+        stages: dict[str, float] = {}
+        for span in by_trace.get(root.trace_id, ()):
+            if span is not root and span.finished:
+                stages[span.name] = (
+                    stages.get(span.name, 0.0) + span.duration_ns)
+        record: dict[str, Any] = {
+            "trace_id": root.trace_id,
+            "start_ns": root.start_ns,
+            "end_ns": root.end_ns,
+            "duration_ns": root.duration_ns,
+            "stages": stages,
+            "window_indices": [w.index for w in windows],
+            "windows_missing": not windows,
+            "state": _state_over(windows, patterns),
+        }
+        if flight is not None:
+            record["flight"] = flight.events_between(
+                root.start_ns, root.end_ns)
+        requests.append(record)
+
+    return {
+        "quantile": quantile,
+        "n_requests": len(roots),
+        "threshold_ns": (_percentile_threshold(durations, quantile)
+                         if durations else 0.0),
+        "n_slow": len(slow),
+        "truncated": truncated,
+        "requests": requests,
+    }
+
+
+def render_tail_report(report: dict, title: str = "tail") -> str:
+    """The human-readable version of a :func:`tail_report` payload."""
+    lines = [
+        f"{title} — p{report['quantile'] * 100:g} forensics "
+        f"({report['n_slow']}/{report['n_requests']} requests at or above "
+        f"{report['threshold_ns']:.0f} ns)"
+    ]
+    for record in report["requests"]:
+        lines.append(
+            f"  trace {record['trace_id']}: {record['duration_ns']:.0f} ns "
+            f"[{record['start_ns']:.0f} .. {record['end_ns']:.0f}]")
+        stages = sorted(record["stages"].items(),
+                        key=lambda item: -item[1])
+        for name, duration in stages[:6]:
+            lines.append(f"    {name:<14} {duration:>12.1f} ns")
+        if record["windows_missing"]:
+            lines.append("    (windows evicted from the sampler ring)")
+        busiest = sorted(record["state"].items(),
+                         key=lambda item: -item[1]["max"])
+        for name, stat in busiest[:6]:
+            lines.append(
+                f"    {name:<38} max {stat['max']:>8.1f} "
+                f"mean {stat['mean']:>8.1f}")
+        flight_events: Optional[list] = record.get("flight")
+        if flight_events is not None:
+            lines.append(f"    {len(flight_events)} flight event(s) "
+                         "during this request")
+    return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""Windowed time-series sampling of a :class:`MetricsRegistry`.
+
+Spans (:mod:`repro.obs.spans`) answer "where did *this request* go";
+this module answers "what did *the system* look like over time" — the
+Monarch/Prometheus half of the observability story.  A
+:class:`TimeSeriesSampler` reads a registry snapshot every ``W`` ns of
+simulated time into fixed-width :class:`Window` records, so queue
+depths, ring occupancy, core utilisation, and Tryagain rates become
+plottable series instead of a single end-of-run number.
+
+Bounded by construction: the sampler keeps at most ``max_windows``
+windows and counts exactly how many it had to drop
+(:attr:`TimeSeriesSampler.dropped_windows`), mirroring the
+flight-recorder contract — observability must never OOM the run it is
+observing.
+
+Determinism contract (the same one spans honour, asserted by E21):
+sampling is **host-side only**.  The sampler does arm a periodic sim
+timer (:meth:`repro.sim.engine.Simulator.periodic`), but the tick
+callback only *reads* component state — it never advances simulated
+time, consumes randomness, or mutates anything a simulation process
+can see — so an armed run's simulated results are bit-identical to an
+unarmed run's.
+
+Derived rates: counters only ever go up, so per-window **rates** are
+computed from successive snapshots (:meth:`rate_series`), turning e.g.
+``nic.rx_frames`` into frames/second per window.  Values that move
+down between windows (gauges) get no rate row.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+__all__ = ["Window", "TimeSeriesSampler"]
+
+#: nanoseconds per second, for counter-delta -> rate conversion
+_NS_PER_S = 1e9
+
+
+class Window:
+    """One fixed-width sampling window: ``[start_ns, end_ns)`` + values."""
+
+    __slots__ = ("index", "start_ns", "end_ns", "values")
+
+    def __init__(self, index: int, start_ns: float, end_ns: float,
+                 values: dict[str, float]):
+        self.index = index
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.values = values
+
+    @property
+    def width_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+    @property
+    def mid_ns(self) -> float:
+        return (self.start_ns + self.end_ns) / 2.0
+
+    def overlaps(self, start_ns: float, end_ns: float) -> bool:
+        """True when this window intersects ``[start_ns, end_ns]``."""
+        return self.end_ns > start_ns and self.start_ns < end_ns
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "values": dict(self.values),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Window {self.index} [{self.start_ns:.0f}, "
+                f"{self.end_ns:.0f}) {len(self.values)} values>")
+
+
+class TimeSeriesSampler:
+    """Samples a registry snapshot into ring-bounded windows.
+
+    Usage in a harness::
+
+        registry = bind_testbed_metrics(bed)
+        sampler = TimeSeriesSampler(bed.sim, registry, window_ns=500_000)
+        sampler.start(horizon_ns)
+        bed.machine.run(until=horizon_ns)
+        sampler.finish()              # close the trailing partial window
+
+    Only int/float snapshot entries land in windows (a gauge holding a
+    string would poison rate math and the JSON artifact).
+    """
+
+    def __init__(self, sim, registry, window_ns: float = 250_000.0,
+                 max_windows: int = 512):
+        if window_ns <= 0:
+            raise ValueError(f"non-positive window width: {window_ns}")
+        if max_windows < 1:
+            raise ValueError(f"need at least one window, got {max_windows}")
+        self.sim = sim
+        self.registry = registry
+        self.window_ns = float(window_ns)
+        self.max_windows = int(max_windows)
+        self.windows: deque[Window] = deque()
+        #: exact count of windows evicted from the ring
+        self.dropped_windows = 0
+        #: snapshots actually taken (== windows recorded, ever)
+        self.samples = 0
+        self._next_index = 0
+        self._last_sample_ns: Optional[float] = None
+
+    # -- sampling -------------------------------------------------------------
+
+    def sample(self) -> Window:
+        """Close one window at the current instant (host-side only)."""
+        now = self.sim.now
+        start = self._last_sample_ns if self._last_sample_ns is not None \
+            else now - self.window_ns
+        self._last_sample_ns = now
+        values = {
+            name: value
+            for name, value in self.registry.snapshot().items()
+            if isinstance(value, (int, float))
+        }
+        window = Window(self._next_index, start, now, values)
+        self._next_index += 1
+        self.samples += 1
+        if len(self.windows) >= self.max_windows:
+            self.windows.popleft()
+            self.dropped_windows += 1
+        self.windows.append(window)
+        return window
+
+    def start(self, horizon_ns: float):
+        """Arm the periodic sampling timer, bounded by ``horizon_ns``.
+
+        The bound matters for the same reason it does for the invariant
+        sampler: an unbounded ticker would keep the event queue
+        populated forever and break run-to-exhaustion callers.
+        """
+        self._last_sample_ns = self.sim.now
+        return self.sim.periodic(self.window_ns, self.sample, horizon_ns,
+                                 name="timeseries-sampler")
+
+    def finish(self) -> Optional[Window]:
+        """Take the trailing partial window, if any time has passed."""
+        if self._last_sample_ns is not None \
+                and self.sim.now <= self._last_sample_ns:
+            return None
+        return self.sample()
+
+    # -- queries --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+    def names(self) -> list[str]:
+        """Every metric name seen in any retained window, sorted."""
+        seen: set[str] = set()
+        for window in self.windows:
+            seen.update(window.values)
+        return sorted(seen)
+
+    def series(self, name: str) -> list[tuple[float, float]]:
+        """``(window end ns, value)`` pairs for one metric."""
+        return [(w.end_ns, w.values[name]) for w in self.windows
+                if name in w.values]
+
+    def rate_series(self, name: str) -> list[tuple[float, float]]:
+        """Per-window rates (per *second*) derived from a counter.
+
+        Each retained window after the first contributes
+        ``(delta value / delta time) * 1e9``; windows where the value
+        moved down (a gauge, or a ring-evicted predecessor) are
+        skipped, so only counter-like motion produces rate points.
+        """
+        out: list[tuple[float, float]] = []
+        prev: Optional[Window] = None
+        for window in self.windows:
+            if name in window.values:
+                if prev is not None:
+                    dt = window.end_ns - prev.end_ns
+                    dv = window.values[name] - prev.values[name]
+                    if dt > 0 and dv >= 0:
+                        out.append((window.end_ns, dv / dt * _NS_PER_S))
+                prev = window
+        return out
+
+    def overlapping(self, start_ns: float, end_ns: float) -> list[Window]:
+        """Retained windows intersecting ``[start_ns, end_ns]``."""
+        return [w for w in self.windows if w.overlaps(start_ns, end_ns)]
+
+    # -- export ---------------------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able form: config, drop accounting, and every window."""
+        return {
+            "window_ns": self.window_ns,
+            "max_windows": self.max_windows,
+            "samples": self.samples,
+            "dropped_windows": self.dropped_windows,
+            "windows": [w.as_dict() for w in self.windows],
+        }

@@ -90,6 +90,10 @@ class Kernel:
         self.netstack = None
         #: NIC devices attached to this kernel
         self.nics: list[Any] = []
+        #: optional flight recorder (repro.obs.flight); None keeps the
+        #: dispatch loop free of any observability work beyond one
+        #: attribute test
+        self.flight = None
         self._started = False
 
     def bind_metrics(self, registry, prefix: str = "kernel") -> None:
@@ -99,7 +103,12 @@ class Kernel:
         registry.probe(prefix, lambda: {
             "processes": len(self.processes),
             "runnable": self.scheduler.total_queued(),
+            "idle_cores": len(self.scheduler.idle_cores),
         })
+        for core_id in range(self.machine.n_cores):
+            registry.probe(f"{prefix}.runq{core_id}", lambda c=core_id: {
+                "depth": self.scheduler.queue_length(c),
+            })
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -289,6 +298,10 @@ class Kernel:
         return None
 
     def _dispatch(self, core: Core, thread: OsThread):
+        flight = self.flight
+        if flight is not None:
+            flight.note("sched.dispatch", core=core.id, thread=thread.name,
+                        queued=self.scheduler.queue_length(core.id))
         yield from self._charge_switch(core, thread)
         thread.state = ThreadState.RUNNING
         thread.core_id = core.id

@@ -104,6 +104,9 @@ class NetStack:
             "rx_parse_errors": self.rx_parse_errors,
             "rx_no_socket": self.rx_no_socket,
             "sockets": len(self.sockets),
+            # Aggregate socket-queue occupancy: the kernel stack's
+            # dominant wait shows up here in the time-series windows.
+            "rx_queued": sum(len(s.rx_queue) for s in self.sockets.values()),
         })
         for port, socket in self.sockets.items():
             registry.bind(f"{prefix}.udp{port}", socket.stats)

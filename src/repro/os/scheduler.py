@@ -37,6 +37,10 @@ class Scheduler:
     def total_queued(self) -> int:
         return sum(len(q) for q in self._queues)
 
+    def queue_lengths(self) -> tuple[int, ...]:
+        """Per-core run-queue depths (window probe for time series)."""
+        return tuple(len(q) for q in self._queues)
+
     def queued_threads(self, core_id: int) -> tuple[OsThread, ...]:
         return tuple(self._queues[core_id])
 

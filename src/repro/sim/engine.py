@@ -518,6 +518,28 @@ class Simulator:
         """Start a new simulation process from ``generator``."""
         return Process(self, generator, name=name)
 
+    def periodic(self, interval_ns: float, fn: Callable[[], Any],
+                 until_ns: float, name: str = "periodic") -> Process:
+        """Call ``fn()`` every ``interval_ns`` of simulated time.
+
+        The ticker is bounded by ``until_ns``: the last call happens
+        strictly before that horizon, and the process then terminates
+        so run-to-exhaustion callers are never kept alive by a stale
+        ticker.  ``fn`` runs at event-boundary granularity and must not
+        itself advance simulated time — this is the host-side sampling
+        hook used by the invariant sampler (:mod:`repro.check`) and the
+        time-series sampler (:mod:`repro.obs.timeseries`).
+        """
+        if interval_ns <= 0:
+            raise ValueError(f"non-positive periodic interval: {interval_ns}")
+
+        def ticker():
+            while self.now + interval_ns < until_ns:
+                yield self.timeout(interval_ns)
+                fn()
+
+        return self.process(ticker(), name=name)
+
     # -- execution ----------------------------------------------------
 
     def _pop(self, limit: float = float("inf")) -> Optional[Event]:

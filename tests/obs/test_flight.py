@@ -1,0 +1,153 @@
+"""FlightRecorder: ring bounds, queries, dump-on-violation."""
+
+import json
+
+import pytest
+
+from repro.check.registry import CheckRegistry
+from repro.obs.flight import FlightRecorder
+from repro.sim.engine import Simulator
+
+
+def test_note_records_time_kind_fields():
+    sim = Simulator()
+    flight = FlightRecorder(sim)
+    flight.note("sched.dispatch", core=3, thread="worker")
+    (event,) = flight.snapshot()
+    assert event == {"time_ns": 0.0, "kind": "sched.dispatch",
+                     "fields": {"core": 3, "thread": "worker"}}
+
+
+def test_ring_bound_and_exact_drop_accounting():
+    sim = Simulator()
+    flight = FlightRecorder(sim, capacity=8)
+    for index in range(30):
+        flight.note("tick", index=index)
+    assert len(flight) == 8
+    assert flight.dropped == 22
+    assert flight.recorded == 30
+    assert flight.recorded == len(flight) + flight.dropped
+    # The ring keeps the most recent events.
+    indices = [event["fields"]["index"] for event in flight.snapshot()]
+    assert indices == list(range(22, 30))
+
+
+def test_events_between_and_kinds():
+    sim = Simulator()
+    flight = FlightRecorder(sim)
+
+    def workload():
+        for index in range(5):
+            flight.note("a" if index % 2 == 0 else "b", index=index)
+            yield sim.timeout(100.0)
+
+    sim.process(workload())
+    sim.run()
+    window = flight.events_between(100.0, 300.0)
+    assert [e["fields"]["index"] for e in window] == [1, 2, 3]
+    assert flight.kinds() == {"a": 3, "b": 2}
+
+
+def test_dump_and_dump_json(tmp_path):
+    sim = Simulator()
+    flight = FlightRecorder(sim, capacity=4)
+    for index in range(6):
+        flight.note("tick", index=index)
+    reason = {"check": "demo", "detail": "it broke"}
+    path = tmp_path / "flight.json"
+    payload = flight.dump_json(str(path), reason=reason)
+    assert payload["reason"] == reason
+    assert payload["capacity"] == 4
+    assert payload["recorded"] == 6 and payload["dropped"] == 2
+    assert payload["kinds"] == {"tick": 4}
+    assert json.loads(path.read_text()) == payload
+
+
+def test_constructor_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        FlightRecorder(Simulator(), capacity=0)
+
+
+# -- the CheckRegistry integration: dump on first violation ---------------
+
+
+def _registry_with_flight(sim):
+    checks = CheckRegistry(sim)
+    flight = FlightRecorder(sim, capacity=16)
+    checks.flight = flight
+    return checks, flight
+
+
+def test_violation_freezes_flight_dump():
+    sim = Simulator()
+    checks, flight = _registry_with_flight(sim)
+    flight.note("sched.dispatch", core=0)
+    checks.add("always-broken", lambda: ["queue went negative"])
+    checks.check_now()
+    dump = checks.flight_dump
+    assert dump is not None
+    assert dump["reason"]["check"] == "always-broken"
+    assert dump["reason"]["detail"] == "queue went negative"
+    # The trigger is noted into the ring before dumping, so the dump
+    # records its own cause as the final event.
+    assert dump["events"][-1]["kind"] == "invariant.violation"
+    assert dump["events"][0]["kind"] == "sched.dispatch"
+
+
+def test_dump_taken_exactly_once_at_first_violation():
+    sim = Simulator()
+    checks, flight = _registry_with_flight(sim)
+    checks.add("broken", lambda: ["first"])
+    checks.check_now()
+    first_dump = checks.flight_dump
+    flight.note("later", index=1)
+    checks.check_now()
+    assert checks.flight_dump is first_dump
+    assert len(checks.violations) == 2
+
+
+def test_dump_written_to_path_when_configured(tmp_path):
+    sim = Simulator()
+    checks, flight = _registry_with_flight(sim)
+    path = tmp_path / "postmortem.json"
+    checks.flight_dump_path = str(path)
+    checks.add("broken", lambda: ["boom"])
+    checks.check_now()
+    on_disk = json.loads(path.read_text())
+    assert on_disk == checks.flight_dump
+    assert on_disk["reason"]["check"] == "broken"
+
+
+def test_no_dump_without_flight_or_without_violation():
+    sim = Simulator()
+    checks = CheckRegistry(sim)
+    checks.add("broken", lambda: ["boom"])
+    checks.check_now()
+    assert checks.flight_dump is None      # no recorder attached
+
+    checks, flight = _registry_with_flight(sim)
+    checks.add("healthy", lambda: ())
+    checks.check_now()
+    assert checks.flight_dump is None      # nothing went wrong
+
+
+def test_periodic_sampler_dumps_mid_run():
+    sim = Simulator()
+    checks, flight = _registry_with_flight(sim)
+    checks.add("breaks-at-1ms",
+               lambda: ["late failure"] if sim.now >= 1_000_000 else ())
+
+    def workload():
+        for index in range(20):
+            flight.note("tick", index=index)
+            yield sim.timeout(100_000.0)
+
+    sim.process(workload())
+    checks.start(2_000_000.0)
+    sim.run(until=2_000_000.0)
+    dump = checks.flight_dump
+    assert dump is not None
+    assert dump["reason"]["time_ns"] == pytest.approx(1_000_000.0)
+    # Only events up to the violation instant are in the post-mortem.
+    ticks = [e for e in dump["events"] if e["kind"] == "tick"]
+    assert ticks and all(e["time_ns"] <= 1_000_000.0 for e in ticks)

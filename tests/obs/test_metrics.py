@@ -1,9 +1,17 @@
 """Metrics registry: instruments, live probes, testbed binding."""
 
+import gc
 from dataclasses import dataclass
 
+import pytest
+
 from repro.experiments.four_stacks import _build_stack
-from repro.obs.metrics import Counter, Gauge, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsCollision,
+    MetricsRegistry,
+)
 
 
 def test_counter_and_gauge_basics():
@@ -113,3 +121,104 @@ def test_bind_testbed_metrics_lauberhorn_exposes_telemetry():
     assert "lb.nic.telemetry.completed" in snapshot
     assert "lb.machine.busy_ns" in snapshot
     assert "lb.kernel.context_switches" in snapshot
+
+
+# -- namespace collisions (detected at snapshot time) ---------------------
+
+
+def test_collisions_are_counted_and_last_writer_wins():
+    registry = MetricsRegistry()
+    registry.counter("nic.rx").inc(5)
+    registry.probe("nic", lambda: {"rx": 99})
+    snapshot = registry.snapshot()
+    # Deterministic order: counters, gauges, histograms, then probes in
+    # registration order — so the probe's value wins.
+    assert snapshot["nic.rx"] == 99
+    assert registry.collisions == 1
+    assert snapshot["metrics.collisions"] == 1
+
+
+def test_probe_vs_probe_collision_resolves_by_registration_order():
+    registry = MetricsRegistry()
+    registry.probe("a", lambda: {"x": 1})
+    registry.probe("a", lambda: {"x": 2})
+    assert registry.snapshot()["a.x"] == 2
+    assert registry.collisions == 1
+
+
+def test_strict_snapshot_raises_on_collision():
+    # A probe prefix producing a key an owned gauge already claimed.
+    registry = MetricsRegistry()
+    registry.gauge("a.x").set(1)
+    registry.probe("a", lambda: {"x": 2})
+    with pytest.raises(MetricsCollision, match="a.x"):
+        registry.snapshot(strict=True)
+
+
+def test_clean_snapshot_has_no_collision_row():
+    registry = MetricsRegistry()
+    registry.counter("a").inc()
+    registry.gauge("b").set(2)
+    snapshot = registry.snapshot(strict=True)   # must not raise
+    assert "metrics.collisions" not in snapshot
+    assert registry.collisions == 0
+
+
+def test_collision_count_resets_per_snapshot():
+    registry = MetricsRegistry()
+    registry.gauge("a.x").set(1)
+    probes = registry._probes
+    registry.probe("a", lambda: {"x": 2})
+    assert registry.snapshot()["metrics.collisions"] == 1
+    probes.clear()
+    assert "metrics.collisions" not in registry.snapshot()
+    assert registry.collisions == 0
+
+
+# -- lifetime hygiene: weak binds and reset -------------------------------
+
+
+class _PlainStats:
+    def __init__(self):
+        self.rx = 3
+
+
+def test_bind_does_not_pin_the_stats_object():
+    registry = MetricsRegistry()
+    stats = _PlainStats()
+    registry.bind("nic", stats)
+    assert registry.snapshot()["nic.rx"] == 3
+    del stats
+    gc.collect()
+    # The registry held only a weak reference: the probe now reads {}.
+    assert "nic.rx" not in registry.snapshot()
+
+
+def test_bind_falls_back_to_strong_ref_for_slotted_types():
+    class Slotted:
+        __slots__ = ("rx",)
+
+        def __init__(self):
+            self.rx = 7
+
+    registry = MetricsRegistry()
+    registry.bind("nic", Slotted())
+    # Not weak-referenceable: the registry keeps it alive instead of
+    # silently dropping the metrics.
+    gc.collect()
+    assert registry.snapshot()["nic.rx"] == 7
+
+
+def test_reset_drops_every_instrument_and_probe():
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    registry.gauge("g").set(1)
+    registry.histogram("h").record(1.0)
+    registry.probe("p", lambda: {"x": 1})
+    registry.bind("b", _PlainStats())
+    assert registry.snapshot()
+    registry.reset()
+    assert registry.snapshot() == {}
+    assert registry.collisions == 0
+    # Fresh instruments after reset start from zero.
+    assert registry.counter("c").value == 0

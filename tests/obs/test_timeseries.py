@@ -1,0 +1,181 @@
+"""TimeSeriesSampler: windows, ring bounds, rates, determinism."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesSampler, Window
+from repro.sim.engine import Simulator
+
+
+def _sampler(window_ns=100.0, max_windows=4):
+    sim = Simulator()
+    registry = MetricsRegistry()
+    counter = registry.counter("rx.frames")
+    registry.gauge("q.depth")
+    return sim, registry, counter, TimeSeriesSampler(
+        sim, registry, window_ns=window_ns, max_windows=max_windows)
+
+
+def test_windows_are_fixed_width_and_contiguous():
+    sim, registry, counter, sampler = _sampler(max_windows=16)
+    sampler.start(1000.0)
+    sim.run(until=1000.0)
+    assert len(sampler) == 9  # ticks at 100..900; the 1000 tick is cut
+    widths = {w.width_ns for w in sampler.windows}
+    assert widths == {100.0}
+    for prev, cur in zip(list(sampler.windows), list(sampler.windows)[1:]):
+        assert cur.start_ns == prev.end_ns
+        assert cur.index == prev.index + 1
+
+
+def test_ring_bound_and_exact_drop_accounting():
+    sim, registry, counter, sampler = _sampler(max_windows=4)
+    sampler.start(1000.0)
+    sim.run(until=1000.0)
+    assert len(sampler.windows) == 4
+    assert sampler.dropped_windows == 5
+    assert sampler.samples == 9
+    assert sampler.samples == len(sampler.windows) + sampler.dropped_windows
+    # The ring keeps the *most recent* windows.
+    assert [w.index for w in sampler.windows] == [5, 6, 7, 8]
+
+
+def test_finish_takes_trailing_partial_window():
+    sim, registry, counter, sampler = _sampler(window_ns=300.0,
+                                               max_windows=16)
+    sampler.start(1000.0)
+    sim.run(until=1000.0)
+    assert len(sampler) == 3          # 300, 600, 900
+    window = sampler.finish()
+    assert window is not None and window.width_ns == pytest.approx(100.0)
+    assert sampler.finish() is None   # no time passed since: no-op
+
+
+def test_snapshot_values_and_series():
+    sim, registry, counter, sampler = _sampler(max_windows=16)
+
+    def load():
+        # Offset the increments from the window boundaries so each
+        # window unambiguously contains exactly one.
+        yield sim.timeout(30.0)
+        for _ in range(5):
+            counter.inc(10)
+            yield sim.timeout(100.0)
+
+    sim.process(load())
+    sampler.start(520.0)
+    sim.run(until=520.0)
+    series = sampler.series("rx.frames")
+    assert [v for _, v in series] == [10, 20, 30, 40, 50]
+    assert "rx.frames" in sampler.names()
+    assert "q.depth" in sampler.names()
+
+
+def test_rate_series_derives_per_second_rates():
+    sim, registry, counter, sampler = _sampler(max_windows=16)
+
+    def load():
+        while True:
+            counter.inc(3)
+            yield sim.timeout(50.0)
+
+    sim.process(load())
+    sampler.start(1000.0)
+    sim.run(until=1000.0)
+    rates = sampler.rate_series("rx.frames")
+    assert rates, "counter motion must produce rate points"
+    # 3 per 50 ns == 6e7 per second, for every window after the first.
+    for _, rate in rates:
+        assert rate == pytest.approx(6 * 10 / 100 * 1e9 / 10)
+
+
+def test_rate_series_skips_gauge_dips():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    gauge = registry.gauge("depth")
+    sampler = TimeSeriesSampler(sim, registry, window_ns=100.0,
+                                max_windows=16)
+
+    def wiggle():
+        yield sim.timeout(50.0)
+        for value in [5, 2, 7]:
+            gauge.set(value)
+            yield sim.timeout(100.0)
+
+    sim.process(wiggle())
+    sampler.start(350.0)
+    sim.run(until=400.0)
+    rates = sampler.rate_series("depth")
+    # Windows see 5, 2, 7: the 5 -> 2 dip is skipped, 2 -> 7 is kept.
+    assert len(rates) == 1
+
+
+def test_overlapping_and_window_overlaps():
+    sim, registry, counter, sampler = _sampler(max_windows=16)
+    sampler.start(1000.0)
+    sim.run(until=1000.0)
+    hits = sampler.overlapping(250.0, 450.0)
+    assert [w.index for w in hits] == [2, 3, 4]
+    window = Window(0, 100.0, 200.0, {})
+    assert window.overlaps(150.0, 160.0)
+    assert not window.overlaps(200.0, 300.0)   # [start, end) exclusivity
+    assert not window.overlaps(0.0, 100.0)
+
+
+def test_as_dict_round_trips_through_json():
+    import json
+
+    sim, registry, counter, sampler = _sampler(max_windows=4)
+    sampler.start(1000.0)
+    sim.run(until=1000.0)
+    payload = json.loads(json.dumps(sampler.as_dict()))
+    assert payload["samples"] == 9
+    assert payload["dropped_windows"] == 5
+    assert payload["max_windows"] == 4
+    assert len(payload["windows"]) == 4
+    assert payload["windows"][0]["values"]["rx.frames"] == 0
+
+
+def test_non_numeric_snapshot_values_are_excluded():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    registry.probe("a", lambda: {"n": 1, "label": "text"})
+    sampler = TimeSeriesSampler(sim, registry, window_ns=100.0)
+    sampler.start(150.0)
+    sim.run(until=150.0)
+    (window,) = sampler.windows
+    assert window.values == {"a.n": 1}
+
+
+def test_sampling_timer_does_not_move_simulated_results():
+    """Armed and unarmed runs of the same workload agree exactly."""
+
+    def run(armed: bool):
+        sim = Simulator()
+        registry = MetricsRegistry()
+        counter = registry.counter("ticks")
+        stamps = []
+
+        def workload():
+            for _ in range(20):
+                counter.inc()
+                stamps.append(sim.now)
+                yield sim.timeout(37.0)
+
+        sim.process(workload())
+        if armed:
+            sampler = TimeSeriesSampler(sim, registry, window_ns=50.0)
+            sampler.start(1000.0)
+        sim.run(until=1000.0)
+        return stamps
+
+    assert run(armed=False) == run(armed=True)
+
+
+def test_constructor_rejects_bad_config():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        TimeSeriesSampler(sim, registry, window_ns=0.0)
+    with pytest.raises(ValueError):
+        TimeSeriesSampler(sim, registry, max_windows=0)

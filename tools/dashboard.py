@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""Render the E21 timeline artifact as a self-contained HTML dashboard.
+
+Reads ``results/e21_timeline.json`` (written by
+``python -m repro.experiments.run_all e21`` or ``make run-e21``) and
+emits one HTML file with **no external dependencies** — inline CSS and
+inline SVG sparklines only — so it can be opened from a CI artifact
+listing or an air-gapped machine:
+
+* per-stack time-series sparklines (the busiest windowed metrics);
+* the tail-forensics table: every p99.9 request with its stage
+  breakdown and the system state while it was in flight;
+* the flight-recorder post-mortem: trigger, event-kind counts, and
+  the final events before the (deliberately injected) violation.
+
+Usage::
+
+    python tools/dashboard.py --in results/e21_timeline.json \
+        --out results/e21_dashboard.html
+    python tools/dashboard.py --validate          # schema check + exit
+    python tools/dashboard.py --text              # terminal summary too
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.experiments.e21_timeline import (  # noqa: E402
+    TIMELINE_ARTIFACT,
+    validate_timeline_payload,
+)
+from repro.obs.tail import STATE_PATTERNS, render_tail_report  # noqa: E402
+
+#: how many sparklines per stack (busiest state metrics first)
+MAX_SPARKLINES = 12
+#: how many trailing flight events the post-mortem table shows
+MAX_FLIGHT_ROWS = 30
+
+_CSS = """
+body { font: 14px/1.5 -apple-system, 'Segoe UI', sans-serif;
+       margin: 2em auto; max-width: 72em; color: #1a1a2e; }
+h1 { font-size: 1.5em; } h2 { font-size: 1.2em; margin-top: 2em;
+     border-bottom: 2px solid #4361ee; padding-bottom: .2em; }
+h3 { font-size: 1em; margin-bottom: .3em; }
+table { border-collapse: collapse; margin: .5em 0; font-size: 13px; }
+th, td { border: 1px solid #d0d0e0; padding: .25em .6em;
+         text-align: left; vertical-align: top; }
+th { background: #eef0fb; }
+.ok { color: #0a7d36; font-weight: 600; }
+.bad { color: #c0182b; font-weight: 600; }
+.spark { display: inline-block; margin: .3em .6em .3em 0;
+         padding: .3em .5em; border: 1px solid #e0e0ee;
+         border-radius: 4px; background: #fafaff; }
+.spark .name { font-size: 11px; color: #555; display: block; }
+.spark .range { font-size: 10px; color: #999; }
+.mono { font-family: ui-monospace, monospace; font-size: 12px; }
+.summary { color: #444; }
+"""
+
+
+def _spark_svg(points: list[tuple[float, float]], width: int = 220,
+               height: int = 36) -> str:
+    """One polyline sparkline (inline SVG, no dependencies)."""
+    if len(points) < 2:
+        return "<svg width='220' height='36'></svg>"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    coords = " ".join(
+        f"{(x - x_lo) / x_span * (width - 4) + 2:.1f},"
+        f"{height - 2 - (y - y_lo) / y_span * (height - 4):.1f}"
+        for x, y in points
+    )
+    return (f"<svg width='{width}' height='{height}'>"
+            f"<polyline points='{coords}' fill='none' "
+            f"stroke='#4361ee' stroke-width='1.5'/></svg>")
+
+
+def _series(entry: dict, name: str) -> list[tuple[float, float]]:
+    return [(w["end_ns"], w["values"][name])
+            for w in entry["timeseries"]["windows"]
+            if name in w["values"]]
+
+
+def _pick_metrics(entry: dict) -> list[str]:
+    """The busiest windowed metrics: state-like first, movers only."""
+    windows = entry["timeseries"]["windows"]
+    names: set[str] = set()
+    for window in windows:
+        names.update(window["values"].keys())
+
+    def spread(name: str) -> float:
+        values = [v for _, v in _series(entry, name)]
+        return (max(values) - min(values)) if values else 0.0
+
+    movers = [n for n in names if spread(n) > 0]
+    state = [n for n in movers
+             if any(p in n for p in STATE_PATTERNS)]
+    rest = [n for n in movers if n not in state]
+    ranked = (sorted(state, key=lambda n: -spread(n))
+              + sorted(rest, key=lambda n: -spread(n)))
+    return ranked[:MAX_SPARKLINES]
+
+
+def _fmt_ns(value: float) -> str:
+    if value >= 1e6:
+        return f"{value / 1e6:.2f} ms"
+    if value >= 1e3:
+        return f"{value / 1e3:.2f} us"
+    return f"{value:.0f} ns"
+
+
+def _tail_table(entry: dict) -> str:
+    rows = []
+    for record in entry["tail"]["requests"]:
+        stages = sorted(record["stages"].items(), key=lambda kv: -kv[1])
+        stage_text = ", ".join(
+            f"{html.escape(name)} {_fmt_ns(duration)}"
+            for name, duration in stages[:4])
+        state = sorted(record["state"].items(),
+                       key=lambda kv: -kv[1]["max"])
+        state_text = ", ".join(
+            f"{html.escape(name)} max {stat['max']:g}"
+            for name, stat in state[:4] if stat["max"] > 0) or "all quiet"
+        flight_n = len(record.get("flight", []))
+        rows.append(
+            f"<tr><td class='mono'>{record['trace_id']}</td>"
+            f"<td>{_fmt_ns(record['duration_ns'])}</td>"
+            f"<td>{stage_text}</td><td>{state_text}</td>"
+            f"<td>{flight_n}</td></tr>")
+    tail = entry["tail"]
+    caption = (f"p{tail['quantile'] * 100:g} threshold "
+               f"{_fmt_ns(tail['threshold_ns'])} — {tail['n_slow']} of "
+               f"{tail['n_requests']} requests")
+    return (f"<h3>Tail forensics <span class='summary'>({caption})"
+            "</span></h3><table><tr><th>trace</th><th>RTT</th>"
+            "<th>slowest stages</th><th>concurrent state</th>"
+            f"<th>flight events</th></tr>{''.join(rows)}</table>")
+
+
+def _flight_table(entry: dict) -> str:
+    dump = entry.get("flight_dump")
+    if not dump:
+        return "<h3>Flight recorder</h3><p class='bad'>no dump</p>"
+    reason = dump.get("reason") or {}
+    kinds = ", ".join(f"{html.escape(kind)}×{count}" for kind, count
+                      in sorted(dump["kinds"].items()))
+    events = dump["events"][-MAX_FLIGHT_ROWS:]
+    rows = "".join(
+        f"<tr><td class='mono'>{event['time_ns']:.0f}</td>"
+        f"<td>{html.escape(event['kind'])}</td>"
+        f"<td class='mono'>{html.escape(json.dumps(event['fields']))}"
+        "</td></tr>"
+        for event in events)
+    return (
+        "<h3>Flight-recorder post-mortem</h3>"
+        f"<p class='summary'>triggered by <b>{html.escape(str(reason.get('check')))}"
+        f"</b> at {reason.get('time_ns', 0):.0f} ns — "
+        f"{html.escape(str(reason.get('detail')))}<br>"
+        f"{dump['recorded']} recorded, {dump['dropped']} dropped "
+        f"(ring capacity {dump['capacity']}); kinds: {kinds}</p>"
+        f"<table><tr><th>time ns</th><th>kind</th><th>fields</th></tr>"
+        f"{rows}</table>"
+        f"<p class='summary'>showing the final {len(events)} of "
+        f"{len(dump['events'])} retained events</p>")
+
+
+def _stack_section(stack: str, entry: dict) -> str:
+    ts = entry["timeseries"]
+    identical = ("<span class='ok'>bit-identical</span>"
+                 if entry["identical"]
+                 else "<span class='bad'>DIVERGED</span>")
+    layers = entry["layers"]
+    sparks = []
+    for name in _pick_metrics(entry):
+        points = _series(entry, name)
+        values = [v for _, v in points]
+        sparks.append(
+            f"<span class='spark'><span class='name'>"
+            f"{html.escape(name)}</span>{_spark_svg(points)}"
+            f"<span class='range'>{min(values):g} .. {max(values):g}"
+            "</span></span>")
+    return (
+        f"<h2>{html.escape(stack)}</h2>"
+        f"<p class='summary'>{entry['completed']}/{entry['n_requests']} "
+        f"requests — p50 {_fmt_ns(entry['p50_rtt_ns'])}, "
+        f"p99.9 {_fmt_ns(entry['p999_rtt_ns'])} — armed run {identical} "
+        f"— {ts['samples']} windows of {ts['window_ns']:g} ns "
+        f"({ts['dropped_windows']} evicted) — metrics: "
+        f"hw {layers.get('hw', 0)}, os {layers.get('os', 0)}, "
+        f"nic {layers.get('nic', 0)}</p>"
+        f"<div>{''.join(sparks)}</div>"
+        f"{_tail_table(entry)}"
+        f"{_flight_table(entry)}")
+
+
+def build_dashboard(payload: dict) -> str:
+    """The full HTML document for one E21 artifact payload."""
+    sections = "".join(_stack_section(stack, entry)
+                       for stack, entry in payload["stacks"].items())
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        "<title>E21 — system timelines</title>"
+        f"<style>{_CSS}</style></head><body>"
+        "<h1>E21 — time series, flight recorder &amp; tail forensics</h1>"
+        "<p class='summary'>One section per stack: windowed metric "
+        "sparklines spanning the hardware/OS/NIC layers, every p99.9 "
+        "request joined with the system state it ran through, and the "
+        "flight-recorder dump frozen at the injected invariant "
+        "violation.</p>"
+        f"{sections}</body></html>")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--in", dest="in_path", default=TIMELINE_ARTIFACT,
+                        help=f"artifact path (default {TIMELINE_ARTIFACT})")
+    parser.add_argument("--out", default="results/e21_dashboard.html",
+                        help="HTML output path")
+    parser.add_argument("--validate", action="store_true",
+                        help="check the artifact against the E21 schema; "
+                             "nonzero exit on violations")
+    parser.add_argument("--text", action="store_true",
+                        help="also print the per-stack tail report")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.in_path) as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        print(f"no artifact at {args.in_path} — run "
+              "`python -m repro.experiments.run_all e21` first")
+        return 1
+
+    if args.validate:
+        try:
+            validate_timeline_payload(payload)
+        except ValueError as error:
+            print(f"schema violations: {error}")
+            return 1
+        print("schema check: OK")
+
+    if args.text:
+        for stack, entry in payload["stacks"].items():
+            print(render_tail_report(entry["tail"], title=stack))
+            print()
+
+    document = build_dashboard(payload)
+    out = pathlib.Path(args.out)
+    if out.parent != pathlib.Path(""):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(document)
+    print(f"wrote {args.out}: {len(document)} bytes, "
+          f"{len(payload['stacks'])} stacks")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
