@@ -4,7 +4,8 @@
 #   test-fast          alias of the tier-1 command (kept for muscle memory)
 #   test-props         property tests only (replay, null-plan, fault matrix)
 #   test-faults        fault-injection + invariant-layer tests only
-#   regen-golden       re-record tests/golden/*.json (then review the diff!)
+#   regen-golden       re-record tests/golden/*.json + hashes.json (then
+#                      review the diff!)
 #   coverage           src/repro line coverage (stdlib tracer) -> coverage.json
 #   bench-engine       sim-engine microbenchmarks -> BENCH_engine.json
 #   bench-engine-quick CI-sized engine smoke (seconds, not minutes)
@@ -12,7 +13,7 @@
 #                      baseline; fails on a >5% events/sec regression
 #   bench-runall       serial-vs-parallel + cold-vs-warm-cache wall clock
 #                      for the experiment runner -> BENCH_runall.json
-#   run-all            all 21 experiments, serial (bit-for-bit the
+#   run-all            all 22 experiments, serial (bit-for-bit the
 #                      historical output)
 #   run-all-par        the same artifact fanned out over REPRO_JOBS
 #                      workers (default 4); tables are identical
@@ -22,6 +23,8 @@
 #                      attribution + overhead + results/e20_trace.json
 #   run-e21            timelines/flight/tail forensics alone ->
 #                      results/e21_timeline.json
+#   run-e22            control-plane policy tournaments + epoch
+#                      migration -> results/e22_control.json
 #   trace-export       Perfetto/Chrome-trace artifact for all four
 #                      stacks -> results/e20_trace.json (schema-checked)
 #   dashboard          self-contained HTML from the E21 artifact ->
@@ -34,8 +37,8 @@ COVER_MIN ?= 92
 
 .PHONY: test test-fast test-props test-faults regen-golden coverage \
 	bench-engine bench-engine-quick bench-guard bench-runall \
-	run-all run-all-par run-all-faults run-e20 run-e21 trace-export \
-	dashboard
+	run-all run-all-par run-all-faults run-e20 run-e21 run-e22 \
+	trace-export dashboard
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -51,6 +54,7 @@ test-faults:
 
 regen-golden:
 	$(PYTHON) tools/regen_golden.py
+	$(PYTHON) tools/regen_golden.py --hashes
 
 coverage:
 	$(PYTHON) tools/coverage_gate.py --fail-under $(COVER_MIN) --report coverage.json
@@ -86,6 +90,10 @@ run-e20:
 
 run-e21:
 	$(PYTHON) -m repro.experiments.run_all e21
+
+# Policy tournaments + epoch migration -> results/e22_control.json.
+run-e22:
+	$(PYTHON) -m repro.experiments.run_all e22
 
 trace-export:
 	$(PYTHON) tools/trace_export.py --all --out results/e20_trace.json --validate

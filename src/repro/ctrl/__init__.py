@@ -1,0 +1,58 @@
+"""repro.ctrl — the adaptive control plane over the obs layer.
+
+PRs 4-5 built a passive observability stack: spans, windowed time
+series, flight recording, tail forensics.  This package closes the
+loop — the paper's §4 flexibility argument is that an OS-integrated
+NIC lets policy *react*, so here a :class:`Controller` consumes live
+:class:`~repro.obs.timeseries.TimeSeriesSampler` windows as signals
+and acts on the running system through a pluggable :class:`Policy`
+strategy interface:
+
+* **admission control** — an :class:`~repro.ctrl.actuate.AdmissionGate`
+  on the open-loop generator, driven AIMD-style by Tryagain/retry
+  storms (the ``backoff`` policy);
+* **interrupt-moderation / polling-interval tuning** — runtime NIC
+  knobs (``DmaNic.irq_coalesce_ns``, ``BypassNic.poll_quantum_ns``,
+  ``LauberhornNic.set_tryagain_timeout_ns``) retuned per decision
+  epoch (the ``tuner`` policy);
+* **stack migration** — :class:`~repro.ctrl.migrate.EpochMigrator`
+  moves a service between the four stacks at epoch boundaries based on
+  observed latency, making the E4 ``dynamic_mix`` choice automatic.
+
+The no-regression contract is strict and mirrors the obs layer's:
+an **inert** controller (``policy=None`` or the ``none`` spec)
+registers no sampler tap, installs no gate, and touches no knob —
+every experiment is byte-identical to a build that predates this
+package, asserted by the golden corpus running under an inert ambient
+spec.
+
+Like fault plans, a policy spec can be made *ambient*
+(:mod:`repro.ctrl.context`, ``REPRO_POLICY``) and is part of the
+result-cache key (:mod:`repro.exp.cache`), so two different policies
+never collide in ``.repro-cache/``.
+"""
+
+from .actuate import ActuationRecord, Actuators, AdmissionGate
+from .context import ENV_VAR, active, active_policy_spec, set_active_spec
+from .controller import Controller
+from .migrate import EpochMigrator, EpochRecord, greedy_chooser, sticky_chooser
+from .policy import POLICIES, Policy, PolicySpec, SignalView
+
+__all__ = [
+    "ActuationRecord",
+    "Actuators",
+    "AdmissionGate",
+    "Controller",
+    "ENV_VAR",
+    "EpochMigrator",
+    "EpochRecord",
+    "POLICIES",
+    "Policy",
+    "PolicySpec",
+    "SignalView",
+    "active",
+    "active_policy_spec",
+    "greedy_chooser",
+    "set_active_spec",
+    "sticky_chooser",
+]

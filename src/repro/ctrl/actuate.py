@@ -1,0 +1,137 @@
+"""Actuators: the knobs a policy may turn, and the log of every turn.
+
+The :class:`Actuators` facade wraps one testbed's actuation surface —
+the runtime-settable NIC knobs (``BypassNic.poll_quantum_ns``,
+``DmaNic.irq_coalesce_ns``, ``LauberhornNic.set_tryagain_timeout_ns``)
+plus an :class:`AdmissionGate` on the load generator — behind
+knob-name methods, so one policy works against every stack: a knob the
+attached NIC does not expose is silently skipped (and *not* logged,
+so the actuation log records what actually happened).
+
+Every applied actuation appends an :class:`ActuationRecord`; the log
+is the determinism witness — same (plan, spec, seed) ⇒ identical log,
+pinned by the property tests — and lands in the E22 artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+__all__ = ["ActuationRecord", "AdmissionGate", "Actuators"]
+
+
+@dataclass(frozen=True)
+class ActuationRecord:
+    """One applied knob change."""
+
+    t_ns: float
+    epoch: int
+    knob: str
+    value: float
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class AdmissionGate:
+    """Admission-control hold for open-loop arrival sources.
+
+    Installed as :attr:`repro.workloads.generator.OpenLoopGenerator.\
+admission`: the generator calls the gate before each arrival and
+    sleeps out any positive hold-off, re-asking until admitted — so a
+    controller raising :attr:`hold_ns` thins the offered load without
+    dropping anything, and setting it back to zero restores full rate.
+    """
+
+    def __init__(self):
+        self.hold_ns = 0.0
+        #: times a positive hold was handed out (arrivals deferred)
+        self.holds = 0
+
+    def __call__(self) -> float:
+        if self.hold_ns > 0.0:
+            self.holds += 1
+        return self.hold_ns
+
+
+class Actuators:
+    """Knob facade over one testbed + the applied-actuation log."""
+
+    def __init__(self, sim, nic=None, gate: Optional[AdmissionGate] = None):
+        self.sim = sim
+        self.nic = nic
+        self.gate = gate
+        self.log: list[ActuationRecord] = []
+        #: stamped by the controller before each decide() call
+        self.epoch = 0
+
+    # -- introspection ------------------------------------------------
+
+    _KNOB_ATTRS = {
+        "admission_hold": ("gate", "hold_ns"),
+        "poll_quantum": ("nic", "poll_quantum_ns"),
+        "irq_coalesce": ("nic", "irq_coalesce_ns"),
+        "tryagain": ("nic", "tryagain_timeout_ns"),
+    }
+
+    def current(self, knob: str) -> Optional[float]:
+        """The knob's present value, or None if unsupported here."""
+        owner_name, attr = self._KNOB_ATTRS[knob]
+        owner = getattr(self, owner_name)
+        if owner is None or not hasattr(owner, attr):
+            return None
+        return getattr(owner, attr)
+
+    # -- knob setters -------------------------------------------------
+
+    def _note(self, knob: str, value: float) -> None:
+        self.log.append(ActuationRecord(
+            t_ns=self.sim.now, epoch=self.epoch, knob=knob,
+            value=float(value)))
+
+    def set_admission_hold(self, hold_ns: float) -> bool:
+        """Set the gate's hold-off; no-op without a gate installed."""
+        if self.gate is None or hold_ns < 0:
+            return False
+        if self.gate.hold_ns == hold_ns:
+            return False
+        self.gate.hold_ns = float(hold_ns)
+        self._note("admission_hold", hold_ns)
+        return True
+
+    def set_poll_quantum(self, quantum_ns: float) -> bool:
+        """Retune a bypass NIC's PMD spin quantum."""
+        nic = self.nic
+        if nic is None or not hasattr(nic, "poll_quantum_ns") \
+                or quantum_ns <= 0 or nic.poll_quantum_ns == quantum_ns:
+            return False
+        nic.poll_quantum_ns = float(quantum_ns)
+        self._note("poll_quantum", quantum_ns)
+        return True
+
+    def set_irq_coalesce(self, coalesce_ns: float) -> bool:
+        """Retune a DMA NIC's interrupt-moderation hold-off."""
+        nic = self.nic
+        if nic is None or not hasattr(nic, "irq_coalesce_ns") \
+                or coalesce_ns < 0 or nic.irq_coalesce_ns == coalesce_ns:
+            return False
+        nic.irq_coalesce_ns = float(coalesce_ns)
+        self._note("irq_coalesce", coalesce_ns)
+        return True
+
+    def set_tryagain_timeout(self, timeout_ns: float) -> bool:
+        """Retune a Lauberhorn NIC's Tryagain park timeout."""
+        nic = self.nic
+        if nic is None or not hasattr(nic, "set_tryagain_timeout_ns") \
+                or timeout_ns <= 0 \
+                or nic.tryagain_timeout_ns == timeout_ns:
+            return False
+        nic.set_tryagain_timeout_ns(timeout_ns)
+        self._note("tryagain", timeout_ns)
+        return True
+
+    # -- export -------------------------------------------------------
+
+    def log_as_dicts(self) -> list[dict]:
+        return [record.as_dict() for record in self.log]

@@ -1,0 +1,66 @@
+"""Ambient policy-spec propagation (mirrors :mod:`repro.faults.context`).
+
+Experiment jobs are pure functions of (params, seed) running in pool
+worker processes, so — exactly like fault plans — a policy spec can be
+made *ambient*:
+
+* :func:`active` — a context manager scoping a spec to a ``with``
+  block (what harnesses and the golden byte-identity sweep use);
+* the ``REPRO_POLICY`` environment variable — a
+  :meth:`~repro.ctrl.policy.PolicySpec.from_spec` string, inherited by
+  pool workers.
+
+:mod:`repro.exp.cache` consults :func:`active_policy_spec` when
+building result-cache keys, so runs under different policies never
+collide.  An **inert** spec (``"none"``) resolves to ``None`` for the
+key, matching the byte-identity contract: an inert controller produces
+exactly the results of no controller, so they may share cache entries.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Optional
+
+from .policy import PolicySpec
+
+__all__ = ["ENV_VAR", "active", "active_policy_spec", "set_active_spec"]
+
+ENV_VAR = "REPRO_POLICY"
+
+_active: Optional[PolicySpec] = None
+#: memoised parse of the env var (spec string -> spec)
+_env_cache: tuple[Optional[str], Optional[PolicySpec]] = (None, None)
+
+
+def set_active_spec(spec: Optional[PolicySpec]) -> None:
+    """Set (or clear, with ``None``) the process-wide ambient spec."""
+    global _active
+    _active = spec
+
+
+def active_policy_spec() -> Optional[PolicySpec]:
+    """The ambient spec: explicit scope first, then ``REPRO_POLICY``."""
+    if _active is not None:
+        return _active
+    global _env_cache
+    raw = os.environ.get(ENV_VAR)
+    if not raw:
+        return None
+    cached_raw, cached_spec = _env_cache
+    if raw != cached_raw:
+        _env_cache = (raw, PolicySpec.from_spec(raw))
+    return _env_cache[1]
+
+
+@contextmanager
+def active(spec: Optional[PolicySpec]):
+    """Scope ``spec`` as the ambient policy for a ``with`` block."""
+    global _active
+    previous = _active
+    _active = spec
+    try:
+        yield spec
+    finally:
+        _active = previous

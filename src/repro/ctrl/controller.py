@@ -1,0 +1,73 @@
+"""The controller: sampler windows in, knob actuations out.
+
+A :class:`Controller` subscribes to a
+:class:`~repro.obs.timeseries.TimeSeriesSampler`'s push tap and, every
+``epoch_windows`` closed windows, hands the recent windows to its
+policy as a :class:`~repro.ctrl.policy.SignalView` along with the
+:class:`~repro.ctrl.actuate.Actuators` facade.  Decisions therefore
+run at window-close instants — host-side moments the sampler already
+owns — so the control plane adds no events of its own; only *applied
+actuations* change the simulation, by design.
+
+Inert contract: with ``policy=None`` (or an inert spec) the
+constructor registers **no tap**, keeps **no state**, and the run is
+byte-identical to one without a controller at all — the same contract
+the obs layer honours for unarmed runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Union
+
+from .actuate import Actuators
+from .policy import Policy, PolicySpec, SignalView
+
+__all__ = ["Controller"]
+
+#: windows of history kept for SignalViews (bounds controller memory
+#: the same way max_windows bounds the sampler)
+_HISTORY = 16
+
+
+class Controller:
+    """Drives one policy from one sampler onto one actuation surface."""
+
+    def __init__(self, sampler, actuators: Actuators,
+                 policy: Union[Policy, PolicySpec, None],
+                 epoch_windows: Optional[int] = None):
+        if isinstance(policy, PolicySpec):
+            if epoch_windows is None:
+                epoch_windows = policy.epoch_windows
+            policy = policy.build()
+        self.policy = policy
+        self.actuators = actuators
+        self.epoch_windows = 2 if epoch_windows is None else int(epoch_windows)
+        if self.epoch_windows < 1:
+            raise ValueError(
+                f"epoch must be at least one window: {self.epoch_windows}")
+        self.epochs = 0
+        self._windows: deque = deque(maxlen=_HISTORY)
+        self._pending = 0
+        self.armed = policy is not None
+        if self.armed:
+            # The one and only coupling to the running system: an
+            # inert controller must not reach this line.
+            sampler.subscribe(self._on_window)
+
+    def _on_window(self, window) -> None:
+        self._windows.append(window)
+        self._pending += 1
+        if self._pending < self.epoch_windows:
+            return
+        self._pending = 0
+        self.epochs += 1
+        self.actuators.epoch = self.epochs
+        view = SignalView(self._windows, epoch=self.epochs,
+                          now_ns=window.end_ns,
+                          epoch_windows=self.epoch_windows)
+        self.policy.decide(view, self.actuators)
+
+    def actuation_log(self) -> list[dict]:
+        """Every applied actuation, in order (JSON-able)."""
+        return self.actuators.log_as_dicts()

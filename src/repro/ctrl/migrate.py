@@ -1,0 +1,178 @@
+"""Epoch-based stack migration: making the E4 choice automatic.
+
+The four stacks are four *builds* of the same service (different NIC
+device models, different machine parameterisations), so a live
+teleport of in-flight state between them is not a meaningful operation
+in this simulator.  What the paper's flexibility argument actually
+needs is the *placement decision* reacting to observed load: the
+:class:`EpochMigrator` runs a service in epochs, and at each boundary
+a chooser policy picks the next epoch's stack from the latency the
+previous epochs *measured* — redeploying the service (a fresh testbed,
+as a real migration would cold-start the new data path) and charging a
+``migration_penalty_ns`` of downtime whenever the stack changes.
+
+This turns ``dynamic_mix``'s static per-point stack assignment into a
+closed-loop choice: under a fault plan that punishes one stack, the
+greedy chooser routes the service away from it after the exploration
+epochs, and the E22 artifact shows the crossover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Callable, Optional, Sequence, Union
+
+from ..faults import active
+from ..obs.instrument import bind_testbed_metrics
+from ..obs.timeseries import TimeSeriesSampler
+
+__all__ = ["EpochRecord", "EpochMigrator", "greedy_chooser",
+           "sticky_chooser"]
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One epoch's placement and what it measured."""
+
+    epoch: int
+    stack: str
+    #: True when this epoch changed stacks (and paid the penalty)
+    migrated: bool
+    completed: int
+    p50_rtt_ns: float
+    penalty_ns: float
+    #: windowed samples taken during the epoch (signal availability)
+    samples: int
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def greedy_chooser(history: Sequence[EpochRecord],
+                   stacks: Sequence[str]) -> str:
+    """Explore each stack once in order, then exploit the best p50.
+
+    Deterministic by construction (no RNG, stable tie-break on the
+    stack tuple's order), so the migration schedule replays exactly.
+    """
+    tried = {record.stack for record in history}
+    for stack in stacks:
+        if stack not in tried:
+            return stack
+    best: dict[str, list[float]] = {}
+    for record in history:
+        if record.completed > 0:
+            best.setdefault(record.stack, []).append(record.p50_rtt_ns)
+    scored = {
+        stack: sum(values) / len(values)
+        for stack, values in best.items() if values
+    }
+    if not scored:
+        return stacks[0]
+    return min(stacks, key=lambda s: scored.get(s, float("inf")))
+
+
+def sticky_chooser(stack: str) -> Callable[[Sequence[EpochRecord],
+                                            Sequence[str]], str]:
+    """A chooser that never migrates — the static baseline."""
+    return lambda history, stacks: stack
+
+
+class EpochMigrator:
+    """Closed-loop stack placement over epoch boundaries."""
+
+    def __init__(
+        self,
+        chooser: Union[str, Callable] = "greedy",
+        stacks: Optional[Sequence[str]] = None,
+        n_epochs: int = 6,
+        requests_per_epoch: int = 24,
+        epoch_horizon_ns: float = 20_000_000.0,
+        migration_penalty_ns: float = 500_000.0,
+        window_ns: float = 500_000.0,
+        plan=None,
+        burst: int = 8,
+        burst_gap_ns: float = 600_000.0,
+    ):
+        from ..experiments.four_stacks import STACKS
+
+        if isinstance(chooser, str):
+            if chooser == "greedy":
+                chooser = greedy_chooser
+            elif chooser.startswith("sticky:"):
+                chooser = sticky_chooser(chooser.partition(":")[2])
+            else:
+                raise ValueError(f"unknown chooser {chooser!r}")
+        self.chooser = chooser
+        self.stacks = tuple(stacks if stacks is not None else STACKS)
+        if not self.stacks:
+            raise ValueError("need at least one stack")
+        if n_epochs < 1:
+            raise ValueError(f"need at least one epoch, got {n_epochs}")
+        self.n_epochs = n_epochs
+        self.requests_per_epoch = requests_per_epoch
+        self.epoch_horizon_ns = epoch_horizon_ns
+        self.migration_penalty_ns = migration_penalty_ns
+        self.window_ns = window_ns
+        self.plan = plan
+        self.burst = burst
+        self.burst_gap_ns = burst_gap_ns
+        self.history: list[EpochRecord] = []
+
+    def _run_epoch(self, stack: str, penalty_ns: float) -> tuple[int, float,
+                                                                 int]:
+        """(completed, p50 rtt, samples) for one epoch on ``stack``."""
+        from ..experiments.four_stacks import _build_stack
+
+        with active(self.plan):
+            bed, service, method = _build_stack(stack)
+        registry = bind_testbed_metrics(bed)
+        sampler = TimeSeriesSampler(bed.sim, registry,
+                                    window_ns=self.window_ns)
+        client = bed.clients[0]
+        rtts: list[float] = []
+
+        def collect(event):
+            rtts.append(event._value.rtt_ns)
+
+        def driver():
+            # Migration downtime: the cold data path accepts nothing
+            # until the redeploy settles.
+            yield bed.sim.timeout(10_000 + penalty_ns)
+            sent = 0
+            while sent < self.requests_per_epoch:
+                count = min(self.burst, self.requests_per_epoch - sent)
+                for _ in range(count):
+                    event = client.send_request(
+                        bed.server_mac, bed.server_ip, service.udp_port,
+                        service.service_id, method.method_id, [sent],
+                    )
+                    event.add_callback(collect)
+                    sent += 1
+                yield bed.sim.timeout(self.burst_gap_ns)
+
+        bed.sim.process(driver())
+        sampler.start(self.epoch_horizon_ns)
+        bed.machine.run(until=self.epoch_horizon_ns)
+        sampler.finish()
+        ordered = sorted(rtts)
+        p50 = ordered[len(ordered) // 2] if ordered else 0.0
+        return len(rtts), p50, sampler.samples
+
+    def run(self) -> list[EpochRecord]:
+        """Run every epoch; returns (and stores) the placement history."""
+        previous: Optional[str] = None
+        for epoch in range(1, self.n_epochs + 1):
+            stack = self.chooser(self.history, self.stacks)
+            if stack not in self.stacks:
+                raise ValueError(f"chooser picked unknown stack {stack!r}")
+            migrated = previous is not None and stack != previous
+            penalty = self.migration_penalty_ns if migrated else 0.0
+            completed, p50, samples = self._run_epoch(stack, penalty)
+            self.history.append(EpochRecord(
+                epoch=epoch, stack=stack, migrated=migrated,
+                completed=completed, p50_rtt_ns=p50, penalty_ns=penalty,
+                samples=samples,
+            ))
+            previous = stack
+        return self.history

@@ -1,0 +1,275 @@
+"""Policies: pluggable decision strategies over windowed signals.
+
+A :class:`Policy` is the strategy interface of the control plane: once
+per decision epoch the :class:`~repro.ctrl.controller.Controller`
+hands it a :class:`SignalView` (the most recent sampler windows) and
+an :class:`~repro.ctrl.actuate.Actuators` facade, and the policy may
+retune whatever knobs the facade exposes.  Policies are *deterministic
+functions of the sampled signals and their spec parameters* — they
+consume no ambient randomness, so the same (stack, plan, spec, seed)
+always yields the same actuation log (pinned by the property tests).
+
+A :class:`PolicySpec` is the frozen, canonical description of a policy
+run — the analogue of :class:`~repro.faults.plan.FaultPlan`: parseable
+from a ``"backoff,epoch=4,hold=50000"`` spec string (CLI/env), JSON-
+able for the result-cache key, and buildable into a live policy.
+
+Built-in policies (the :data:`POLICIES` registry; JingZhao's argument
+is that NIC designs should be rapid-prototyped as pluggable policies
+against a stable framework, and this registry is that seam):
+
+* ``none``    — inert; the controller arms nothing at all;
+* ``static``  — applies the spec's knob values once, at the first
+  epoch (the "configured, not adaptive" baseline);
+* ``backoff`` — AIMD admission control driven by Tryagain/retry
+  storms (OSMOSIS-style reactive fairness at the shared NIC);
+* ``tuner``   — interrupt-moderation / polling-interval tuning from
+  observed RX rate and ring occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+__all__ = ["PolicySpec", "SignalView", "Policy", "POLICIES"]
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Canonical description of one control-plane configuration."""
+
+    #: policy name in :data:`POLICIES`; ``"none"`` is the inert spec
+    name: str = "none"
+    #: seed for any policy that wants derived randomness (built-ins
+    #: are RNG-free; the seed still keys the cache)
+    seed: int = 0
+    #: decision epoch length, in sampler windows
+    epoch_windows: int = 2
+    #: policy-specific numeric parameters, canonically sorted
+    params: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self):
+        if self.epoch_windows < 1:
+            raise ValueError(
+                f"epoch must be at least one window: {self.epoch_windows}")
+        if self.name not in POLICIES:
+            known = ", ".join(sorted(POLICIES))
+            raise ValueError(
+                f"unknown policy {self.name!r}; known policies: {known}")
+
+    @property
+    def inert(self) -> bool:
+        """True when this spec arms nothing (the byte-identity case)."""
+        return self.name == "none"
+
+    def as_dict(self) -> dict:
+        """Canonical JSON-able form (the cache-key material)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "epoch_windows": self.epoch_windows,
+            "params": {key: value for key, value in self.params},
+        }
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "PolicySpec":
+        """Parse ``"backoff,epoch=4,seed=1,hold=50000"`` into a spec.
+
+        The first comma-separated entry is the policy name; ``epoch``
+        and ``seed`` are reserved keys, everything else lands in
+        :attr:`params` as a float.
+        """
+        parts = [p.strip() for p in spec.split(",") if p.strip()]
+        if not parts:
+            return cls()
+        name = parts[0]
+        if "=" in name:
+            raise ValueError(
+                f"policy spec must start with a policy name, got {name!r}")
+        seed = 0
+        epoch_windows = 2
+        params: dict[str, float] = {}
+        for part in parts[1:]:
+            key, sep, raw = part.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"bad policy spec entry {part!r} (need key=value)")
+            if key == "seed":
+                seed = int(raw)
+            elif key == "epoch":
+                epoch_windows = int(raw)
+            else:
+                params[key] = float(raw)
+        return cls(name=name, seed=seed, epoch_windows=epoch_windows,
+                   params=tuple(sorted(params.items())))
+
+    def build(self) -> Optional["Policy"]:
+        """Instantiate the policy, or None for the inert spec."""
+        if self.inert:
+            return None
+        return POLICIES[self.name](self)
+
+
+class SignalView:
+    """Read-only view of the most recent sampler windows at one epoch.
+
+    Policies read levels (:meth:`latest`), per-epoch motion
+    (:meth:`delta` — last window of this epoch vs last window of the
+    previous one), and namespace aggregates (:meth:`total_latest`,
+    :meth:`total_delta` — e.g. summing every ``*.retries`` counter
+    across clients) without caring which component owns a metric.
+    """
+
+    def __init__(self, windows: Sequence, epoch: int, now_ns: float,
+                 epoch_windows: int):
+        self.windows = list(windows)
+        self.epoch = epoch
+        self.now_ns = now_ns
+        self.epoch_windows = epoch_windows
+
+    def _pair(self, name: str) -> tuple[Optional[float], Optional[float]]:
+        cur = self.windows[-1].values.get(name) if self.windows else None
+        prev_index = len(self.windows) - 1 - self.epoch_windows
+        prev = (self.windows[prev_index].values.get(name)
+                if prev_index >= 0 else None)
+        return prev, cur
+
+    def latest(self, name: str, default: float = 0.0) -> float:
+        """The metric's value in the newest window."""
+        _prev, cur = self._pair(name)
+        return default if cur is None else cur
+
+    def delta(self, name: str, default: float = 0.0) -> float:
+        """Motion over this epoch (newest window vs one epoch back)."""
+        prev, cur = self._pair(name)
+        if cur is None or prev is None:
+            return default
+        return cur - prev
+
+    def _matching(self, suffix: str) -> list[str]:
+        if not self.windows:
+            return []
+        return [key for key in self.windows[-1].values
+                if key.endswith(suffix)]
+
+    def total_latest(self, suffix: str) -> float:
+        """Sum of every metric whose name ends with ``suffix``."""
+        return sum(self.latest(key) for key in self._matching(suffix))
+
+    def total_delta(self, suffix: str) -> float:
+        """Summed per-epoch motion across a metric-name suffix."""
+        return sum(self.delta(key) for key in self._matching(suffix))
+
+
+class Policy:
+    """Base class: one :meth:`decide` call per decision epoch."""
+
+    def __init__(self, spec: PolicySpec):
+        self.spec = spec
+        self.params = {key: value for key, value in spec.params}
+
+    def param(self, key: str, default: float) -> float:
+        return self.params.get(key, default)
+
+    def decide(self, view: SignalView, acts) -> None:
+        """Inspect ``view``, retune knobs through ``acts``."""
+        raise NotImplementedError
+
+
+class StaticPolicy(Policy):
+    """Apply the spec's knob values once — configured, not adaptive.
+
+    Recognised params (each applied only if given): ``hold`` (admission
+    hold-off ns), ``quantum`` (PMD poll quantum ns), ``coalesce``
+    (IRQ coalescing ns), ``tryagain`` (Tryagain timeout ns).
+    """
+
+    def decide(self, view: SignalView, acts) -> None:
+        if view.epoch != 1:
+            return
+        if "hold" in self.params:
+            acts.set_admission_hold(self.params["hold"])
+        if "quantum" in self.params:
+            acts.set_poll_quantum(self.params["quantum"])
+        if "coalesce" in self.params:
+            acts.set_irq_coalesce(self.params["coalesce"])
+        if "tryagain" in self.params:
+            acts.set_tryagain_timeout(self.params["tryagain"])
+
+
+class BackoffPolicy(Policy):
+    """AIMD admission control driven by Tryagain/retry storms.
+
+    Storm pressure per epoch = new Tryagains (Lauberhorn CONTROL-line
+    bounces) + new client retransmissions + new NIC drops.  Above
+    ``trigger``, the admission hold-off doubles (multiplicative
+    increase, floored at ``hold_step``) and the Tryagain park timeout
+    widens so parked fills stop bouncing in lockstep; once the storm
+    clears, the hold decays additively back to zero and the timeout is
+    restored — classic AIMD, so admission recovers quickly from
+    transient bursts but backs off hard under sustained overload.
+    """
+
+    def __init__(self, spec: PolicySpec):
+        super().__init__(spec)
+        self.hold_ns = 0.0
+        self._base_tryagain: Optional[float] = None
+
+    def decide(self, view: SignalView, acts) -> None:
+        trigger = self.param("trigger", 4.0)
+        step = self.param("hold_step", 20_000.0)
+        cap = self.param("hold_max", 200_000.0)
+        storm = (view.delta("nic.lauberhorn.tryagains")
+                 + view.total_delta(".retries")
+                 + view.delta("nic.rx_dropped"))
+        if self._base_tryagain is None:
+            self._base_tryagain = acts.current("tryagain")
+        if storm > trigger:
+            self.hold_ns = min(max(self.hold_ns * 2.0, step), cap)
+            acts.set_admission_hold(self.hold_ns)
+            if self._base_tryagain is not None:
+                acts.set_tryagain_timeout(self._base_tryagain * 2.0)
+        elif self.hold_ns > 0.0:
+            self.hold_ns = max(0.0, self.hold_ns - step)
+            acts.set_admission_hold(self.hold_ns)
+            if self.hold_ns == 0.0 and self._base_tryagain is not None:
+                acts.set_tryagain_timeout(self._base_tryagain)
+
+
+class TunerPolicy(Policy):
+    """Interrupt-moderation / polling-interval tuning with hysteresis.
+
+    Busy (RX frames this epoch ≥ ``hi``): coalesce interrupts
+    (``coalesce`` ns — batch completions behind one IRQ) and tighten
+    the PMD poll quantum (``quantum_busy``) so spin accounting tracks
+    the load.  Quiet (≤ ``lo``): moderation off, quantum relaxed.
+    The dead band between ``lo`` and ``hi`` leaves the knobs alone —
+    no flapping on the boundary.
+    """
+
+    def __init__(self, spec: PolicySpec):
+        super().__init__(spec)
+        self._mode: Optional[str] = None
+
+    def decide(self, view: SignalView, acts) -> None:
+        hi = self.param("hi", 12.0)
+        lo = self.param("lo", 2.0)
+        rx = view.delta("nic.rx_frames")
+        if rx >= hi and self._mode != "busy":
+            self._mode = "busy"
+            acts.set_irq_coalesce(self.param("coalesce", 2_000.0))
+            acts.set_poll_quantum(self.param("quantum_busy", 250_000.0))
+        elif rx <= lo and self._mode != "quiet":
+            self._mode = "quiet"
+            acts.set_irq_coalesce(0.0)
+            acts.set_poll_quantum(self.param("quantum_idle", 1_000_000.0))
+
+
+#: name -> factory; the seam new policies plug into
+POLICIES: dict[str, Callable[[PolicySpec], Optional[Policy]]] = {
+    "none": lambda spec: None,
+    "static": StaticPolicy,
+    "backoff": BackoffPolicy,
+    "tuner": TunerPolicy,
+}

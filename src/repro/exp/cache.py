@@ -3,7 +3,7 @@
 A job's cache key is the SHA-256 of the canonical JSON of::
 
     {experiment id, fn, canonicalised params, seed, code fingerprint,
-     active fault plan}
+     active fault plan, active policy spec}
 
 The *active fault plan* term is whatever
 :func:`repro.faults.context.active_plan` resolves to at lookup time
@@ -13,6 +13,13 @@ fault specs all key (and cache) separately, and ``run_all --faults``
 no longer needs to disable the cache to stay correct.  A zero plan
 keys identically to no plan, matching the null-plan byte-identity
 property.
+
+The *active policy spec* term mirrors the fault-plan fix for the
+control plane (:mod:`repro.ctrl`): the ambient
+:func:`repro.ctrl.context.active_policy_spec` is result-determining
+state, so two different policy specs never collide in the cache.  An
+inert spec keys as ``None``, matching the inert-controller
+byte-identity contract.
 
 The *code fingerprint* hashes the source bytes of every
 ``repro.*`` module the job's function transitively imports (resolved
@@ -41,12 +48,13 @@ from importlib import util as importlib_util
 from pathlib import Path
 from typing import Optional
 
+from ..ctrl.context import active_policy_spec
 from ..faults.context import active_plan
 from .pool import JobResult, JobSpec
 
 __all__ = ["ResultCache", "code_fingerprint", "module_closure"]
 
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 _DEFAULT_ROOT = ".repro-cache"
 
 # Per-process memos: module -> (path, direct repro imports), path -> sha.
@@ -172,6 +180,11 @@ class ResultCache:
         plan = active_plan()
         if plan is not None and not plan.active:
             plan = None
+        # Same contract for the control plane: an inert spec behaves
+        # byte-identically to no spec and keys the same way.
+        policy = active_policy_spec()
+        if policy is not None and policy.inert:
+            policy = None
         material = json.dumps(
             {
                 "version": CACHE_VERSION,
@@ -181,6 +194,7 @@ class ResultCache:
                 "seed": spec.seed,
                 "fingerprint": code_fingerprint(module_name),
                 "faults": None if plan is None else dataclasses.asdict(plan),
+                "policy": None if policy is None else policy.as_dict(),
             },
             sort_keys=True,
             separators=(",", ":"),

@@ -26,6 +26,7 @@ from typing import Any, Callable, Optional
 from ..experiments import crossover as _crossover
 from ..experiments import dynamic_mix as _dynamic_mix
 from ..experiments import e21_timeline as _timeline
+from ..experiments import e22_control as _control
 from ..experiments import fault_sweep as _fault_sweep
 from ..experiments import four_stacks as _four_stacks
 from ..experiments import load_sweep as _load_sweep
@@ -277,6 +278,37 @@ def _assemble_timeline(values: list[Any]) -> Any:
     return jsonable(results)
 
 
+def _control_jobs(root_seed: int) -> list[JobSpec]:
+    jobs = [
+        _seeded_spec(
+            f"e22/{stack}@{plan}@{policy}", "e22",
+            f"{_EXP}.e22_control:measure_control_cell",
+            _point_seed(root_seed, "e22", f"{stack}@{plan}@{policy}"),
+            stack=stack, plan_label=plan, policy=policy,
+        )
+        for stack in _four_stacks.STACKS
+        for plan in _control.FAULT_PLANS
+        for policy in _control.POLICY_SPECS
+    ]
+    jobs.append(_seeded_spec(
+        "e22/adaptive", "e22",
+        f"{_EXP}.e22_control:measure_adaptive_mix",
+        _point_seed(root_seed, "e22", "adaptive"),
+    ))
+    return jobs
+
+
+def _assemble_control(values: list[Any]) -> Any:
+    *cell_values, adaptive = values
+    cells = [_control.ControlCell(**v) for v in cell_values]
+    _control.render_control(cells, adaptive)
+    payload = _control.write_control_artifact(cells, adaptive)
+    _control.validate_control_payload(payload)
+    print(f"\n[wrote {_control.CONTROL_ARTIFACT}: "
+          f"{len(payload['cells'])} cells]")
+    return jsonable({"cells": cells, "adaptive": adaptive})
+
+
 def _points(name: str, title: str, build_jobs, assemble) -> ExperimentSpec:
     return ExperimentSpec(name=name, title=title, build_jobs=build_jobs,
                           assemble=assemble)
@@ -330,6 +362,9 @@ EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
         _points("e21", "Time-series telemetry, flight recorder & "
                        "tail forensics",
                 _timeline_jobs, _assemble_timeline),
+        _points("e22", "Adaptive control plane — policy tournaments & "
+                       "epoch migration",
+                _control_jobs, _assemble_control),
     ]
 }
 

@@ -1,4 +1,4 @@
-"""Run every experiment (E1-E21) and print the paper-shaped output.
+"""Run every experiment (E1-E22) and print the paper-shaped output.
 
 Usage::
 
@@ -41,6 +41,7 @@ from .ablation import run_crypto_ablation, run_deserialize_ablation
 from .crossover import run_crossover
 from .dynamic_mix import run_dynamic_mix
 from .e21_timeline import run_timeline
+from .e22_control import run_control
 from .fault_sweep import run_fault_sweep
 from .fig1_steps import run_fig1_steps
 from .fig2_roundtrip import run_fig2
@@ -87,6 +88,7 @@ _SERIAL = {
     "e19": lambda: run_fault_sweep(),
     "e20": lambda: run_obs_attribution(),
     "e21": lambda: run_timeline(),
+    "e22": lambda: run_control(),
 }
 
 EXPERIMENTS = {

@@ -74,6 +74,11 @@ class BypassNic(BaseNic):
         ]
         #: static flow steering: UDP dst port -> queue index
         self.flow_table: dict[int, int] = {}
+        #: PMD spin-accounting quantum; runtime-settable (repro.ctrl
+        #: poll-interval tuning).  Read fresh on every poll iteration,
+        #: so a controller changing it mid-run takes effect at the next
+        #: spin segment.  The default matches the historical constant.
+        self.poll_quantum_ns = 1_000_000.0
 
     def steer_port(self, udp_port: int, queue_index: int) -> None:
         """Pin a UDP port's flows to one queue (Flow Director-style)."""
@@ -148,10 +153,9 @@ class BypassNic(BaseNic):
             params = self.params
             # Charge spin time in bounded quanta so energy accounting is
             # correct even while the worker is mid-spin when a run ends.
-            quantum_ns = 1_000_000.0
             while not queue.ring:
                 segment_start = self.sim.now
-                quantum = self.sim.timeout(quantum_ns)
+                quantum = self.sim.timeout(self.poll_quantum_ns)
                 yield AnyOf(self.sim, [queue.gate.wait(), quantum])
                 # If the gate won the race, drop the guard timer from
                 # the heap instead of letting it fire into the void.
@@ -194,14 +198,13 @@ class BypassNic(BaseNic):
 
             params = self.params
             sweep_cost = params.pmd_poll_instructions * len(queue_list)
-            quantum_ns = 1_000_000.0
             while True:
                 ready = next((q for q in queue_list if q.ring), None)
                 if ready is not None:
                     break
                 segment_start = self.sim.now
                 waits = [q.gate.wait() for q in queue_list]
-                quantum = self.sim.timeout(quantum_ns)
+                quantum = self.sim.timeout(self.poll_quantum_ns)
                 yield AnyOf(self.sim, waits + [quantum])
                 quantum.cancel()  # no-op if the quantum itself fired
                 waited = self.sim.now - segment_start

@@ -306,6 +306,16 @@ class LauberhornNic(BaseNic, HomeDevice):
         load = self.load.service(request.service.service_id)
         load.backlog_now = max(0, load.backlog_now - 1)
 
+    def set_tryagain_timeout_ns(self, value: float) -> None:
+        """Runtime actuation hook (:mod:`repro.ctrl`): retune the
+        Tryagain park timeout.  The timer reads the attribute fresh on
+        every arm, so a change applies to the next parked fill — timers
+        already in flight keep the timeout they were armed with.
+        """
+        if value <= 0:
+            raise ValueError(f"non-positive tryagain timeout: {value}")
+        self.tryagain_timeout_ns = float(value)
+
     def _tryagain_timer(self, ep: Endpoint, generation: int):
         yield self.sim.timeout(self.tryagain_timeout_ns)
         if ep.generation != generation or ep.parked is None:

@@ -24,8 +24,10 @@ unarmed run's.
 
 Derived rates: counters only ever go up, so per-window **rates** are
 computed from successive snapshots (:meth:`rate_series`), turning e.g.
-``nic.rx_frames`` into frames/second per window.  Values that move
-down between windows (gauges) get no rate row.
+``nic.rx_frames`` into frames/second per window.  A value that moves
+down between windows is a counter reset (a crashed-and-restarted
+component re-binding its metric): the rate is clamped to zero and the
+reset counted in :attr:`TimeSeriesSampler.rate_resets`.
 """
 
 from __future__ import annotations
@@ -60,7 +62,18 @@ class Window:
         return (self.start_ns + self.end_ns) / 2.0
 
     def overlaps(self, start_ns: float, end_ns: float) -> bool:
-        """True when this window intersects ``[start_ns, end_ns]``."""
+        """True when this window intersects the span ``[start_ns, end_ns)``.
+
+        Both the window and the span are half-open, matching the
+        tail-forensics join in :mod:`repro.obs.tail`: a span that ends
+        exactly on a window edge belongs to the window it *ends in*,
+        never the one starting at that instant — so every span joins
+        exactly one window per covered width (no double-count, no
+        miss).  A zero-duration span (``end_ns == start_ns``) is an
+        instant and joins the single window containing it.
+        """
+        if end_ns == start_ns:
+            return self.start_ns <= start_ns < self.end_ns
         return self.end_ns > start_ns and self.start_ns < end_ns
 
     def as_dict(self) -> dict:
@@ -108,6 +121,10 @@ class TimeSeriesSampler:
         self.samples = 0
         self._next_index = 0
         self._last_sample_ns: Optional[float] = None
+        #: per-metric count of counter resets seen by :meth:`rate_series`
+        self.rate_resets: dict[str, int] = {}
+        #: push-based signal taps; see :meth:`subscribe`
+        self._taps: list[Any] = []
 
     # -- sampling -------------------------------------------------------------
 
@@ -129,7 +146,25 @@ class TimeSeriesSampler:
             self.windows.popleft()
             self.dropped_windows += 1
         self.windows.append(window)
+        if self._taps:
+            for tap in self._taps:
+                tap(window)
         return window
+
+    def subscribe(self, tap) -> None:
+        """Register ``tap(window)`` to run after each closed window.
+
+        This is the push-based signal feed for the control plane
+        (:mod:`repro.ctrl`): a controller subscribes once and sees
+        every window the moment it closes, without polling.  Taps run
+        host-side inside the sampler tick; a tap that mutates
+        simulation state (an *actuator*) changes the run by design —
+        an inert controller must register no tap, keeping the armed
+        run bit-identical to an unarmed one.
+        """
+        if not callable(tap):
+            raise TypeError(f"tap must be callable, got {tap!r}")
+        self._taps.append(tap)
 
     def start(self, horizon_ns: float):
         """Arm the periodic sampling timer, bounded by ``horizon_ns``.
@@ -170,20 +205,34 @@ class TimeSeriesSampler:
         """Per-window rates (per *second*) derived from a counter.
 
         Each retained window after the first contributes
-        ``(delta value / delta time) * 1e9``; windows where the value
-        moved down (a gauge, or a ring-evicted predecessor) are
-        skipped, so only counter-like motion produces rate points.
+        ``(delta value / delta time) * 1e9``.  A negative delta is a
+        counter *reset* — e.g. a :class:`~repro.faults.process.\
+WorkerSupervisor` crash/restart replacing the component behind a
+        bound metric — not a real negative rate: the point is clamped
+        to ``0.0`` and the reset is tallied per metric in
+        :attr:`rate_resets`, so restart storms are visible in the
+        telemetry rather than silently thinning the series.
         """
         out: list[tuple[float, float]] = []
+        resets = 0
         prev: Optional[Window] = None
         for window in self.windows:
             if name in window.values:
                 if prev is not None:
                     dt = window.end_ns - prev.end_ns
                     dv = window.values[name] - prev.values[name]
-                    if dt > 0 and dv >= 0:
+                    if dt > 0:
+                        if dv < 0:
+                            resets += 1
+                            dv = 0.0
                         out.append((window.end_ns, dv / dt * _NS_PER_S))
                 prev = window
+        # Recomputed (not accumulated) per call, so repeated queries
+        # over the same retained windows are idempotent.
+        if resets:
+            self.rate_resets[name] = resets
+        else:
+            self.rate_resets.pop(name, None)
         return out
 
     def overlapping(self, start_ns: float, end_ns: float) -> list[Window]:
@@ -199,5 +248,6 @@ class TimeSeriesSampler:
             "max_windows": self.max_windows,
             "samples": self.samples,
             "dropped_windows": self.dropped_windows,
+            "rate_resets": dict(self.rate_resets),
             "windows": [w.as_dict() for w in self.windows],
         }

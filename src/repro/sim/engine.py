@@ -522,10 +522,15 @@ class Simulator:
                  until_ns: float, name: str = "periodic") -> Process:
         """Call ``fn()`` every ``interval_ns`` of simulated time.
 
-        The ticker is bounded by ``until_ns``: the last call happens
-        strictly before that horizon, and the process then terminates
-        so run-to-exhaustion callers are never kept alive by a stale
-        ticker.  ``fn`` runs at event-boundary granularity and must not
+        The ticker is bounded by ``until_ns``: ticks fire at every
+        multiple of ``interval_ns`` up to *and including* ``until_ns``
+        (``run(until=h)`` dispatches events landing exactly on ``h``),
+        and the process then terminates so run-to-exhaustion callers
+        are never kept alive by a stale ticker.  A horizon that is an
+        exact multiple of the interval therefore gets its final tick at
+        exactly ``until_ns`` — controller decision epochs and sampler
+        windows aligned to the run horizon must not lose their last
+        tick.  ``fn`` runs at event-boundary granularity and must not
         itself advance simulated time — this is the host-side sampling
         hook used by the invariant sampler (:mod:`repro.check`) and the
         time-series sampler (:mod:`repro.obs.timeseries`).
@@ -534,7 +539,7 @@ class Simulator:
             raise ValueError(f"non-positive periodic interval: {interval_ns}")
 
         def ticker():
-            while self.now + interval_ns < until_ns:
+            while self.now + interval_ns <= until_ns:
                 yield self.timeout(interval_ns)
                 fn()
 

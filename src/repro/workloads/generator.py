@@ -94,7 +94,18 @@ class _GeneratorBase:
 
 
 class OpenLoopGenerator(_GeneratorBase):
-    """Poisson arrivals at ``rate_per_sec`` for ``n_requests``."""
+    """Poisson arrivals at ``rate_per_sec`` for ``n_requests``.
+
+    Admission control: when :attr:`admission` is set (a callable
+    returning a hold-off in ns, 0 to admit), each arrival consults it
+    before firing and sleeps out any pushback — the
+    :class:`repro.ctrl.actuate.AdmissionGate` actuation point.  The
+    ``None`` default takes the exact historical path (no extra call,
+    no extra event), keeping ungated runs byte-identical.
+    """
+
+    #: optional admission gate: ``() -> hold_ns`` (0.0 admits)
+    admission: Optional[Callable[[], float]] = None
 
     def run(self, rate_per_sec: float, n_requests: int):
         """Generator (sim process body): returns when all complete."""
@@ -103,7 +114,14 @@ class OpenLoopGenerator(_GeneratorBase):
         sim = self.client.sim
         mean_gap_ns = 1e9 / rate_per_sec
         outstanding: list[Event] = []
+        self.deferrals = 0
         for _ in range(n_requests):
+            if self.admission is not None:
+                hold_ns = self.admission()
+                while hold_ns > 0:
+                    self.deferrals += 1
+                    yield sim.timeout(hold_ns)
+                    hold_ns = self.admission()
             target = self.mix.choose(self.rng)
             done = self._fire(target)
             done.add_callback(lambda ev: self._note(ev.value))

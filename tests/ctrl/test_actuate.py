@@ -1,0 +1,91 @@
+"""The Actuators facade: knob mapping, skip rules, and the log."""
+
+from repro.ctrl import AdmissionGate, Actuators
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+class BypassLikeNic:
+    def __init__(self):
+        self.poll_quantum_ns = 1_000_000.0
+
+
+class DmaLikeNic:
+    def __init__(self):
+        self.irq_coalesce_ns = 0.0
+
+
+class LauberhornLikeNic:
+    def __init__(self):
+        self.tryagain_timeout_ns = 1_000.0
+
+    def set_tryagain_timeout_ns(self, value):
+        if value <= 0:
+            raise ValueError("timeout must be positive")
+        self.tryagain_timeout_ns = float(value)
+
+
+def test_gate_counts_only_positive_holds():
+    gate = AdmissionGate()
+    assert gate() == 0.0
+    assert gate.holds == 0
+    gate.hold_ns = 500.0
+    assert gate() == 500.0
+    assert gate() == 500.0
+    assert gate.holds == 2
+
+
+def test_current_reports_none_for_unsupported_knobs():
+    acts = Actuators(FakeSim(), nic=BypassLikeNic(), gate=None)
+    assert acts.current("poll_quantum") == 1_000_000.0
+    assert acts.current("admission_hold") is None   # no gate installed
+    assert acts.current("irq_coalesce") is None     # wrong NIC kind
+    assert acts.current("tryagain") is None
+
+
+def test_setters_skip_unsupported_surfaces_without_logging():
+    acts = Actuators(FakeSim(), nic=DmaLikeNic(), gate=None)
+    assert not acts.set_admission_hold(10_000.0)
+    assert not acts.set_poll_quantum(500_000.0)
+    assert not acts.set_tryagain_timeout(4_000.0)
+    assert acts.set_irq_coalesce(1_500.0)
+    assert [r.knob for r in acts.log] == ["irq_coalesce"]
+
+
+def test_setters_reject_invalid_values():
+    acts = Actuators(FakeSim(), nic=BypassLikeNic(), gate=AdmissionGate())
+    assert not acts.set_admission_hold(-1.0)
+    assert not acts.set_poll_quantum(0.0)
+    assert not acts.set_poll_quantum(-5.0)
+    assert acts.log == []
+
+
+def test_no_change_writes_are_not_logged():
+    nic = LauberhornLikeNic()
+    acts = Actuators(FakeSim(), nic=nic, gate=AdmissionGate())
+    assert not acts.set_admission_hold(0.0)        # already zero
+    assert not acts.set_tryagain_timeout(1_000.0)  # already the value
+    assert acts.log == []
+    assert acts.set_tryagain_timeout(2_000.0)
+    assert nic.tryagain_timeout_ns == 2_000.0
+    assert len(acts.log) == 1
+
+
+def test_log_records_time_epoch_knob_and_value():
+    sim = FakeSim()
+    acts = Actuators(sim, nic=BypassLikeNic(), gate=AdmissionGate())
+    sim.now = 123.0
+    acts.epoch = 3
+    assert acts.set_poll_quantum(250_000.0)
+    sim.now = 456.0
+    acts.epoch = 4
+    assert acts.set_admission_hold(9_000.0)
+    assert acts.log_as_dicts() == [
+        {"t_ns": 123.0, "epoch": 3, "knob": "poll_quantum",
+         "value": 250_000.0},
+        {"t_ns": 456.0, "epoch": 4, "knob": "admission_hold",
+         "value": 9_000.0},
+    ]

@@ -1,0 +1,99 @@
+"""The Controller: epoch cadence, the inert contract, the tap."""
+
+import pytest
+
+from repro.ctrl import Actuators, Controller, PolicySpec
+from repro.ctrl.policy import Policy
+from repro.obs.timeseries import Window
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+class FakeSampler:
+    def __init__(self):
+        self.taps = []
+
+    def subscribe(self, tap):
+        self.taps.append(tap)
+
+    def push(self, index):
+        window = Window(index, index * 100.0, (index + 1) * 100.0, {})
+        for tap in self.taps:
+            tap(window)
+        return window
+
+
+class RecordingPolicy(Policy):
+    def __init__(self):
+        super().__init__(PolicySpec.from_spec("static"))
+        self.calls = []
+
+    def decide(self, view, acts):
+        self.calls.append((view.epoch, view.now_ns, len(view.windows),
+                           acts.epoch))
+
+
+def _controller(policy, **kwargs):
+    sampler = FakeSampler()
+    acts = Actuators(FakeSim())
+    return Controller(sampler, acts, policy, **kwargs), sampler, acts
+
+
+def test_inert_controller_registers_no_tap():
+    for inert in (None, PolicySpec.from_spec("none")):
+        controller, sampler, _acts = _controller(inert)
+        assert not controller.armed
+        assert sampler.taps == []
+        assert controller.epochs == 0
+
+
+def test_armed_controller_decides_every_epoch_windows():
+    policy = RecordingPolicy()
+    controller, sampler, _acts = _controller(policy, epoch_windows=2)
+    assert controller.armed
+    for index in range(5):
+        sampler.push(index)
+    assert controller.epochs == 2
+    # Decisions at windows 1 and 3 (0-based), epoch stamped on acts.
+    assert policy.calls == [(1, 200.0, 2, 1), (2, 400.0, 4, 2)]
+
+
+def test_spec_policy_brings_its_own_epoch_length():
+    controller, sampler, _acts = _controller(
+        PolicySpec.from_spec("static,epoch=3"))
+    assert controller.armed
+    assert controller.epoch_windows == 3
+    for index in range(3):
+        sampler.push(index)
+    assert controller.epochs == 1
+
+
+def test_window_history_is_bounded():
+    policy = RecordingPolicy()
+    controller, sampler, _acts = _controller(policy, epoch_windows=1)
+    for index in range(40):
+        sampler.push(index)
+    assert controller.epochs == 40
+    assert policy.calls[-1][2] <= 16  # _HISTORY bound
+
+
+def test_epoch_windows_must_be_positive():
+    with pytest.raises(ValueError, match="at least one window"):
+        _controller(RecordingPolicy(), epoch_windows=0)
+
+
+def test_actuation_log_round_trips_through_the_controller():
+    from repro.ctrl import AdmissionGate
+
+    sampler = FakeSampler()
+    acts = Actuators(FakeSim(), gate=AdmissionGate())
+    controller = Controller(sampler, acts, RecordingPolicy())
+    assert controller.actuation_log() == []
+    acts.epoch = 1
+    assert acts.set_admission_hold(5_000.0)
+    assert controller.actuation_log() == [
+        {"t_ns": 0.0, "epoch": 1, "knob": "admission_hold", "value": 5000.0}
+    ]

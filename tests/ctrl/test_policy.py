@@ -1,0 +1,193 @@
+"""PolicySpec parsing/canonicalisation and the built-in policies."""
+
+import pytest
+
+from repro.ctrl import AdmissionGate, Actuators, PolicySpec, SignalView
+from repro.ctrl.policy import POLICIES, BackoffPolicy, StaticPolicy, TunerPolicy
+from repro.obs.timeseries import Window
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+class FakeNic:
+    """Exposes every knob the Actuators facade knows about."""
+
+    def __init__(self):
+        self.poll_quantum_ns = 1_000_000.0
+        self.irq_coalesce_ns = 0.0
+        self.tryagain_timeout_ns = 1_000.0
+
+    def set_tryagain_timeout_ns(self, value):
+        if value <= 0:
+            raise ValueError("timeout must be positive")
+        self.tryagain_timeout_ns = float(value)
+
+
+def _acts():
+    return Actuators(FakeSim(), nic=FakeNic(), gate=AdmissionGate())
+
+
+def _view(values_per_window, epoch=1, epoch_windows=1):
+    windows = [
+        Window(i, i * 100.0, (i + 1) * 100.0, dict(values))
+        for i, values in enumerate(values_per_window)
+    ]
+    return SignalView(windows, epoch=epoch,
+                      now_ns=windows[-1].end_ns if windows else 0.0,
+                      epoch_windows=epoch_windows)
+
+
+# -- PolicySpec ---------------------------------------------------------
+
+
+def test_spec_parses_name_reserved_keys_and_params():
+    spec = PolicySpec.from_spec("backoff,epoch=4,seed=7,hold_step=50000")
+    assert spec.name == "backoff"
+    assert spec.epoch_windows == 4
+    assert spec.seed == 7
+    assert spec.params == (("hold_step", 50000.0),)
+    assert not spec.inert
+
+
+def test_spec_params_are_canonically_sorted():
+    a = PolicySpec.from_spec("tuner,lo=1,hi=9")
+    b = PolicySpec.from_spec("tuner,hi=9,lo=1")
+    assert a == b
+    assert a.as_dict() == b.as_dict()
+
+
+def test_empty_and_none_specs_are_inert():
+    assert PolicySpec.from_spec("").inert
+    assert PolicySpec.from_spec("none").inert
+    assert PolicySpec.from_spec("none").build() is None
+
+
+def test_spec_rejects_unknown_policy_and_bad_entries():
+    with pytest.raises(ValueError, match="unknown policy"):
+        PolicySpec.from_spec("warp_drive")
+    with pytest.raises(ValueError, match="policy name"):
+        PolicySpec.from_spec("epoch=2")
+    with pytest.raises(ValueError, match="key=value"):
+        PolicySpec.from_spec("backoff,oops")
+    with pytest.raises(ValueError, match="at least one window"):
+        PolicySpec.from_spec("backoff,epoch=0")
+
+
+def test_registry_builds_every_policy():
+    assert set(POLICIES) == {"none", "static", "backoff", "tuner"}
+    assert isinstance(PolicySpec.from_spec("static").build(), StaticPolicy)
+    assert isinstance(PolicySpec.from_spec("backoff").build(), BackoffPolicy)
+    assert isinstance(PolicySpec.from_spec("tuner").build(), TunerPolicy)
+
+
+# -- SignalView ---------------------------------------------------------
+
+
+def test_view_latest_delta_and_defaults():
+    view = _view([{"a": 5.0}, {"a": 9.0}], epoch_windows=1)
+    assert view.latest("a") == 9.0
+    assert view.delta("a") == 4.0
+    assert view.latest("missing", default=-1.0) == -1.0
+    assert view.delta("missing", default=0.0) == 0.0
+
+
+def test_view_delta_spans_one_epoch_of_windows():
+    view = _view([{"a": 1.0}, {"a": 4.0}, {"a": 9.0}], epoch_windows=2)
+    assert view.delta("a") == 8.0  # newest vs two windows back
+
+
+def test_view_delta_defaults_without_enough_history():
+    view = _view([{"a": 3.0}], epoch_windows=2)
+    assert view.delta("a", default=0.0) == 0.0
+
+
+def test_view_suffix_aggregates_sum_across_components():
+    view = _view([
+        {"c0.retries": 1.0, "c1.retries": 2.0, "nic.rx": 5.0},
+        {"c0.retries": 3.0, "c1.retries": 7.0, "nic.rx": 6.0},
+    ], epoch_windows=1)
+    assert view.total_latest(".retries") == 10.0
+    assert view.total_delta(".retries") == 7.0
+
+
+# -- StaticPolicy -------------------------------------------------------
+
+
+def test_static_policy_applies_knobs_once_at_first_epoch():
+    acts = _acts()
+    policy = PolicySpec.from_spec(
+        "static,hold=30000,coalesce=1500,quantum=400000,tryagain=2000"
+    ).build()
+    policy.decide(_view([{}], epoch=1), acts)
+    assert acts.gate.hold_ns == 30000.0
+    assert acts.nic.irq_coalesce_ns == 1500.0
+    assert acts.nic.poll_quantum_ns == 400000.0
+    assert acts.nic.tryagain_timeout_ns == 2000.0
+    applied = len(acts.log)
+    policy.decide(_view([{}], epoch=2), acts)
+    assert len(acts.log) == applied  # later epochs leave knobs alone
+
+
+# -- BackoffPolicy ------------------------------------------------------
+
+
+def test_backoff_is_aimd_and_restores_the_tryagain_timeout():
+    acts = _acts()
+    policy = PolicySpec.from_spec(
+        "backoff,trigger=1,hold_step=10000,hold_max=40000").build()
+    calm = _view([{"nic.lauberhorn.tryagains": 0.0},
+                  {"nic.lauberhorn.tryagains": 0.0}])
+    storm = _view([{"nic.lauberhorn.tryagains": 0.0},
+                   {"nic.lauberhorn.tryagains": 5.0}])
+
+    policy.decide(storm, acts)       # multiplicative increase from zero
+    assert acts.gate.hold_ns == 10000.0
+    assert acts.nic.tryagain_timeout_ns == 2000.0  # base 1000 doubled
+    policy.decide(storm, acts)
+    assert acts.gate.hold_ns == 20000.0
+    policy.decide(storm, acts)
+    policy.decide(storm, acts)       # capped at hold_max
+    assert acts.gate.hold_ns == 40000.0
+
+    for _ in range(4):               # additive decrease back to zero
+        policy.decide(calm, acts)
+    assert acts.gate.hold_ns == 0.0
+    assert acts.nic.tryagain_timeout_ns == 1000.0  # base restored
+    policy.decide(calm, acts)        # already open: nothing to decay
+    assert acts.gate.hold_ns == 0.0
+
+
+def test_backoff_counts_retries_and_drops_as_storm_pressure():
+    acts = _acts()
+    policy = PolicySpec.from_spec("backoff,trigger=1").build()
+    view = _view([{"c0.retries": 0.0, "nic.rx_dropped": 0.0},
+                  {"c0.retries": 1.0, "nic.rx_dropped": 1.0}])
+    policy.decide(view, acts)
+    assert acts.gate.hold_ns > 0.0
+
+
+# -- TunerPolicy --------------------------------------------------------
+
+
+def test_tuner_hysteresis_has_a_dead_band():
+    acts = _acts()
+    policy = PolicySpec.from_spec("tuner,hi=10,lo=2").build()
+    busy = _view([{"nic.rx_frames": 0.0}, {"nic.rx_frames": 15.0}])
+    mid = _view([{"nic.rx_frames": 0.0}, {"nic.rx_frames": 5.0}])
+    quiet = _view([{"nic.rx_frames": 0.0}, {"nic.rx_frames": 1.0}])
+
+    policy.decide(busy, acts)
+    assert acts.nic.irq_coalesce_ns == 2000.0
+    assert acts.nic.poll_quantum_ns == 250_000.0
+    applied = len(acts.log)
+
+    policy.decide(mid, acts)         # dead band: no flapping
+    policy.decide(busy, acts)        # already busy: no re-apply
+    assert len(acts.log) == applied
+
+    policy.decide(quiet, acts)
+    assert acts.nic.irq_coalesce_ns == 0.0
+    assert acts.nic.poll_quantum_ns == 1_000_000.0

@@ -109,3 +109,54 @@ def test_faulty_results_cached_separately(tmp_path):
 def test_fingerprint_stable_within_process():
     assert (code_fingerprint("repro.experiments.model_check")
             == code_fingerprint("repro.experiments.model_check"))
+
+
+def test_policy_spec_is_part_of_the_key():
+    from repro.ctrl import PolicySpec
+    from repro.ctrl.context import active
+
+    cache = ResultCache()
+    spec = _spec()
+    bare_key = cache.key(spec)
+
+    with active(PolicySpec.from_spec("backoff,epoch=4")):
+        backoff_key = cache.key(spec)
+    with active(PolicySpec.from_spec("tuner")):
+        tuner_key = cache.key(spec)
+    assert len({bare_key, backoff_key, tuner_key}) == 3
+
+    # Same spec ⇒ same key (replay), different params ⇒ different key.
+    with active(PolicySpec.from_spec("backoff,epoch=4")):
+        assert cache.key(spec) == backoff_key
+    with active(PolicySpec.from_spec("backoff,epoch=8")):
+        assert cache.key(spec) != backoff_key
+
+    # An inert spec behaves byte-identically to no spec and keys as one.
+    with active(PolicySpec.from_spec("none")):
+        assert cache.key(spec) == bare_key
+
+
+def test_policy_results_cached_separately(tmp_path):
+    from repro.ctrl import PolicySpec
+    from repro.ctrl.context import active
+
+    cache = ResultCache(root=tmp_path)
+    spec = _spec(fn="repro.experiments.report:fmt_ns", value_ns=1.0)
+    cache.store(spec, execute_job(spec))
+    with active(PolicySpec.from_spec("backoff")):
+        assert cache.lookup(spec) is None  # bare result must not leak in
+        cache.store(spec, execute_job(spec))
+        assert cache.lookup(spec) is not None
+    assert cache.lookup(spec) is not None  # bare entry still intact
+
+
+def test_policy_env_var_reaches_the_key(monkeypatch):
+    from repro.ctrl.context import ENV_VAR
+
+    cache = ResultCache()
+    spec = _spec()
+    bare_key = cache.key(spec)
+    monkeypatch.setenv(ENV_VAR, "backoff,epoch=4")
+    assert cache.key(spec) != bare_key
+    monkeypatch.setenv(ENV_VAR, "none")
+    assert cache.key(spec) == bare_key

@@ -1,19 +1,31 @@
-"""Golden regression corpus: E1-E18 at the default seed, frozen.
+"""Golden regression corpus: E1-E21 at the default seed, frozen.
 
-Every deterministic experiment's structured results are pinned to
-``tests/golden/<name>.json``.  Any code change that shifts any number
-in any table fails here with a readable per-path diff — which is the
-point: behaviour changes must be *intentional*, reviewed via
-``make regen-golden`` and a git diff of the JSON.
+Every deterministic experiment's structured results are pinned:
+E1-E18 as full JSON under ``tests/golden/<name>.json``, E19-E21 (whose
+payloads are large) as SHA-256 digests in ``tests/golden/hashes.json``.
+Any code change that shifts any number in any table fails here with a
+readable per-path diff — which is the point: behaviour changes must be
+*intentional*, reviewed via ``make regen-golden`` and a git diff.
+
+The whole corpus runs under an **inert ambient policy spec**
+(``PolicySpec.from_spec("none")``), so these pins double as the
+control plane's no-regression contract: a disabled controller must
+leave every experiment byte-identical to a build that predates
+``repro.ctrl``.  The goldens were recorded without the spec armed; if
+an inert controller ever perturbs a result, the diff fails.
 """
 
 import io
 import json
+import os
 import pathlib
 from contextlib import redirect_stdout
 
 import pytest
 
+from repro.ctrl import PolicySpec
+from repro.ctrl import active as policy_active
+from repro.exp.golden import HASHED_EXPERIMENTS, golden_digest
 from repro.exp.jobs import run_experiments
 
 GOLDEN_DIR = pathlib.Path(__file__).parent
@@ -49,12 +61,12 @@ def _diff_paths(expected, actual, path="", out=None):
     return out
 
 
-@pytest.fixture(scope="module")
-def fresh_values():
-    """One serial, cache-free run of all golden experiments."""
-    with redirect_stdout(io.StringIO()):
-        outcome = run_experiments(list(GOLDEN_EXPERIMENTS), jobs=1,
-                                  cache=None, root_seed=0)
+def _run_under_inert_policy(names):
+    """Serial, cache-free run with the inert policy spec armed."""
+    with policy_active(PolicySpec.from_spec("none")):
+        with redirect_stdout(io.StringIO()):
+            outcome = run_experiments(list(names), jobs=1,
+                                      cache=None, root_seed=0)
     assert not outcome.failed, "experiment job failed; see job results"
     # Round-trip through JSON so float/tuple representations match the
     # files exactly.
@@ -62,6 +74,27 @@ def fresh_values():
         name: json.loads(json.dumps(value, sort_keys=True))
         for name, value in outcome.values.items()
     }
+
+
+@pytest.fixture(scope="module")
+def fresh_values():
+    """One serial, cache-free run of all JSON-pinned experiments."""
+    return _run_under_inert_policy(GOLDEN_EXPERIMENTS)
+
+
+@pytest.fixture(scope="module")
+def hashed_values(tmp_path_factory):
+    """One run of the digest-pinned experiments, artifacts in a tmp cwd.
+
+    E20/E21 write ``results/*`` artifacts as part of their assembly;
+    running in a temporary directory keeps the checkout clean.
+    """
+    keep = os.getcwd()
+    os.chdir(tmp_path_factory.mktemp("golden-artifacts"))
+    try:
+        return _run_under_inert_policy(HASHED_EXPERIMENTS)
+    finally:
+        os.chdir(keep)
 
 
 @pytest.mark.parametrize("name", GOLDEN_EXPERIMENTS)
@@ -82,3 +115,25 @@ def test_experiment_matches_golden(name, fresh_values):
         "If this change is intentional, regenerate with `make regen-golden` "
         "and review the JSON diff."
     )
+
+
+@pytest.mark.parametrize("name", HASHED_EXPERIMENTS)
+def test_experiment_matches_hash_pin(name, hashed_values):
+    path = GOLDEN_DIR / "hashes.json"
+    assert path.exists(), (
+        f"{path} missing — run `python tools/regen_golden.py --hashes`"
+    )
+    pins = json.loads(path.read_text())
+    assert name in pins, (
+        f"{name} has no pin in tests/golden/hashes.json — regenerate with "
+        "`python tools/regen_golden.py --hashes`"
+    )
+    actual = golden_digest(hashed_values[name])
+    if actual != pins[name]:
+        pytest.fail(
+            f"{name} results diverged from the pinned digest "
+            f"({pins[name][:12]}… -> {actual[:12]}…).\n"
+            "Digest-pinned experiments have no per-path diff; rerun the "
+            "experiment to inspect, and if the change is intentional "
+            "regenerate with `python tools/regen_golden.py --hashes`."
+        )

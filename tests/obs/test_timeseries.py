@@ -1,5 +1,7 @@
 """TimeSeriesSampler: windows, ring bounds, rates, determinism."""
 
+import json
+
 import pytest
 
 from repro.obs.metrics import MetricsRegistry
@@ -20,7 +22,7 @@ def test_windows_are_fixed_width_and_contiguous():
     sim, registry, counter, sampler = _sampler(max_windows=16)
     sampler.start(1000.0)
     sim.run(until=1000.0)
-    assert len(sampler) == 9  # ticks at 100..900; the 1000 tick is cut
+    assert len(sampler) == 10  # ticks at 100..1000 inclusive
     widths = {w.width_ns for w in sampler.windows}
     assert widths == {100.0}
     for prev, cur in zip(list(sampler.windows), list(sampler.windows)[1:]):
@@ -33,11 +35,11 @@ def test_ring_bound_and_exact_drop_accounting():
     sampler.start(1000.0)
     sim.run(until=1000.0)
     assert len(sampler.windows) == 4
-    assert sampler.dropped_windows == 5
-    assert sampler.samples == 9
+    assert sampler.dropped_windows == 6
+    assert sampler.samples == 10
     assert sampler.samples == len(sampler.windows) + sampler.dropped_windows
     # The ring keeps the *most recent* windows.
-    assert [w.index for w in sampler.windows] == [5, 6, 7, 8]
+    assert [w.index for w in sampler.windows] == [6, 7, 8, 9]
 
 
 def test_finish_takes_trailing_partial_window():
@@ -89,7 +91,7 @@ def test_rate_series_derives_per_second_rates():
         assert rate == pytest.approx(6 * 10 / 100 * 1e9 / 10)
 
 
-def test_rate_series_skips_gauge_dips():
+def test_rate_series_clamps_resets_to_zero_and_counts_them():
     sim = Simulator()
     registry = MetricsRegistry()
     gauge = registry.gauge("depth")
@@ -106,8 +108,17 @@ def test_rate_series_skips_gauge_dips():
     sampler.start(350.0)
     sim.run(until=400.0)
     rates = sampler.rate_series("depth")
-    # Windows see 5, 2, 7: the 5 -> 2 dip is skipped, 2 -> 7 is kept.
-    assert len(rates) == 1
+    # Windows see 5, 2, 7: the 5 -> 2 dip is a reset (clamped to zero,
+    # point kept), 2 -> 7 is a real rate.
+    assert [r for _, r in rates] == [pytest.approx(0.0),
+                                     pytest.approx(5 / 100 * 1e9)]
+    assert sampler.rate_resets == {"depth": 1}
+    # Re-querying the same retained windows is idempotent.
+    sampler.rate_series("depth")
+    assert sampler.rate_resets == {"depth": 1}
+    # A clean counter leaves no reset entry behind.
+    assert sampler.rate_series("missing") == []
+    assert "missing" not in sampler.rate_resets
 
 
 def test_overlapping_and_window_overlaps():
@@ -129,9 +140,10 @@ def test_as_dict_round_trips_through_json():
     sampler.start(1000.0)
     sim.run(until=1000.0)
     payload = json.loads(json.dumps(sampler.as_dict()))
-    assert payload["samples"] == 9
-    assert payload["dropped_windows"] == 5
+    assert payload["samples"] == 10
+    assert payload["dropped_windows"] == 6
     assert payload["max_windows"] == 4
+    assert payload["rate_resets"] == {}
     assert len(payload["windows"]) == 4
     assert payload["windows"][0]["values"]["rx.frames"] == 0
 
@@ -170,6 +182,106 @@ def test_sampling_timer_does_not_move_simulated_results():
         return stamps
 
     assert run(armed=False) == run(armed=True)
+
+
+def test_overlaps_half_open_boundaries():
+    """Spans on window edges join exactly one window — never 0 or 2."""
+    left = Window(0, 0.0, 100.0, {})
+    right = Window(1, 100.0, 200.0, {})
+    # A span ending exactly on the edge belongs to the window it ends
+    # in (left), not the one starting there (right).
+    assert left.overlaps(50.0, 100.0)
+    assert not right.overlaps(50.0, 100.0)
+    # A span starting exactly on the edge belongs to the right window.
+    assert not left.overlaps(100.0, 150.0)
+    assert right.overlaps(100.0, 150.0)
+    # A zero-duration span on the edge is an instant: it joins the
+    # window *containing* that instant (half-open ⇒ the right one).
+    assert not left.overlaps(100.0, 100.0)
+    assert right.overlaps(100.0, 100.0)
+    # A zero-duration span strictly inside joins its window.
+    assert left.overlaps(50.0, 50.0)
+    assert not right.overlaps(50.0, 50.0)
+
+
+def test_overlapping_join_matches_tail_semantics():
+    """sampler.overlapping() finds exactly one window for edge spans."""
+    sim, registry, counter, sampler = _sampler(max_windows=16)
+    sampler.start(1000.0)
+    sim.run(until=1000.0)
+    # Span covering exactly one window width, edge to edge.
+    assert [w.index for w in sampler.overlapping(200.0, 300.0)] == [2]
+    # Zero-duration span on a shared edge: exactly one window.
+    assert [w.index for w in sampler.overlapping(300.0, 300.0)] == [3]
+
+
+def test_periodic_fires_final_tick_on_exact_multiple_horizon():
+    """Regression: horizon == k * interval must include the k-th tick."""
+    sim, registry, counter, sampler = _sampler(window_ns=250.0,
+                                               max_windows=16)
+    sampler.start(1000.0)
+    sim.run(until=1000.0)
+    assert [w.end_ns for w in sampler.windows] == [250.0, 500.0,
+                                                   750.0, 1000.0]
+    # The horizon-aligned window exists; finish() has nothing to add.
+    assert sampler.finish() is None
+
+
+def test_subscribe_tap_sees_every_window_as_it_closes():
+    sim, registry, counter, sampler = _sampler(max_windows=2)
+    seen = []
+    sampler.subscribe(lambda w: seen.append((w.index, sim.now)))
+    sampler.start(500.0)
+    sim.run(until=500.0)
+    # The tap saw all five windows at their close instants, even the
+    # ones the ring later evicted (max_windows=2).
+    assert seen == [(0, 100.0), (1, 200.0), (2, 300.0),
+                    (3, 400.0), (4, 500.0)]
+    assert len(sampler.windows) == 2
+    with pytest.raises(TypeError):
+        sampler.subscribe("not-callable")
+
+
+def test_crash_restart_counter_reset_is_clamped_and_counted():
+    """A supervised worker's crash resets its per-incarnation counter;
+    rate_series must clamp the dip and tally it in rate_resets."""
+    from repro.experiments.testbed import build_linux_testbed
+    from repro.faults import FaultPlan, WorkerSupervisor, active
+    from repro.os import ops
+
+    plan = FaultPlan.from_spec("crash=2000000,restart_ns=100000,seed=4")
+    with active(plan):
+        bed = build_linux_testbed()
+    holder = {}
+
+    def factory():
+        state = {"served": 0}
+        holder["state"] = state
+
+        def body():
+            while True:
+                yield ops.ExecNs(20_000)
+                state["served"] += 1
+                yield ops.Sleep(80_000)
+
+        return body()
+
+    horizon = 20_000_000.0
+    supervisor = WorkerSupervisor(
+        bed.kernel, factory, plan, name="srv", until_ns=horizon)
+    registry = MetricsRegistry()
+    registry.probe("srv", lambda: {"served": holder["state"]["served"]})
+    sampler = TimeSeriesSampler(bed.sim, registry, window_ns=500_000.0,
+                                max_windows=64)
+    sampler.start(horizon)
+    bed.machine.run(until=horizon)
+    assert supervisor.crashes > 0 and supervisor.restarts > 0
+    rates = sampler.rate_series("srv.served")
+    assert rates and all(rate >= 0.0 for _, rate in rates)
+    # Every restart that straddled a window boundary shows up here.
+    assert sampler.rate_resets.get("srv.served", 0) >= 1
+    assert sampler.rate_resets == json.loads(
+        json.dumps(sampler.as_dict()))["rate_resets"]
 
 
 def test_constructor_rejects_bad_config():

@@ -1,32 +1,37 @@
 #!/usr/bin/env python3
 """Regenerate the golden regression corpus under tests/golden/.
 
-Runs every deterministic experiment (E1-E18; E19 is the fault sweep
-and pins its own behaviour through tests/properties/) at the default
-root seed and writes each one's structured results to
-``tests/golden/<name>.json``.  The tier-1 test
+Runs every deterministic experiment at the default root seed and pins
+its structured results: E1-E18 as full JSON files
+(``tests/golden/<name>.json``), E19-E21 as SHA-256 digests
+(``tests/golden/hashes.json``, volatile wall-clock fields stripped —
+see :mod:`repro.exp.golden`).  The tier-1 test
 ``tests/golden/test_golden.py`` re-runs the experiments and diffs
-against these files, so regenerate (``make regen-golden``) whenever an
+against these pins, so regenerate (``make regen-golden``) whenever an
 intentional behaviour change shifts the numbers — and eyeball the git
-diff of the JSON to confirm the shift is the one you meant to make.
+diff to confirm the shift is the one you meant to make.
 
 Usage::
 
-    python tools/regen_golden.py          # all of e1..e18
-    python tools/regen_golden.py e5 e11   # a subset
+    python tools/regen_golden.py            # all of e1..e18
+    python tools/regen_golden.py e5 e11     # a subset
+    python tools/regen_golden.py --hashes   # re-pin e19..e21 digests
 """
 
 from __future__ import annotations
 
 import io
 import json
+import os
 import pathlib
 import sys
+import tempfile
 from contextlib import redirect_stdout
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
+from repro.exp.golden import HASHED_EXPERIMENTS, golden_digest  # noqa: E402
 from repro.exp.jobs import run_experiments  # noqa: E402
 
 GOLDEN_DIR = REPO / "tests" / "golden"
@@ -53,7 +58,39 @@ def regenerate(names: list[str]) -> int:
     return 0
 
 
+def regenerate_hashes() -> int:
+    """Re-pin the digest corpus (artifact writes go to a tmp cwd)."""
+    keep = os.getcwd()
+    tables = io.StringIO()
+    with tempfile.TemporaryDirectory() as scratch:
+        os.chdir(scratch)
+        try:
+            with redirect_stdout(tables):
+                outcome = run_experiments(list(HASHED_EXPERIMENTS), jobs=1,
+                                          cache=None, root_seed=0)
+        finally:
+            os.chdir(keep)
+    if outcome.failed:
+        sys.stdout.write(tables.getvalue())
+        print("experiment failures; hashes NOT written", file=sys.stderr)
+        return 1
+    pins = {
+        name: golden_digest(
+            json.loads(json.dumps(outcome.values[name], sort_keys=True)))
+        for name in HASHED_EXPERIMENTS
+    }
+    path = GOLDEN_DIR / "hashes.json"
+    path.write_text(json.dumps(pins, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path.relative_to(REPO)}")
+    return 0
+
+
 def main(argv: list[str]) -> int:
+    if argv and argv[0] == "--hashes":
+        if argv[1:]:
+            print("--hashes takes no further arguments", file=sys.stderr)
+            return 2
+        return regenerate_hashes()
     names = [a.lower() for a in argv] or list(GOLDEN_EXPERIMENTS)
     unknown = [n for n in names if n not in GOLDEN_EXPERIMENTS]
     if unknown:
