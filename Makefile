@@ -9,8 +9,11 @@
 #   coverage           src/repro line coverage (stdlib tracer) -> coverage.json
 #   bench-engine       sim-engine microbenchmarks -> BENCH_engine.json
 #   bench-engine-quick CI-sized engine smoke (seconds, not minutes)
+#   bench-frames       frame-churn benchmark alone: Frame build/parse
+#                      allocation diet (slots + lazy meta)
 #   bench-guard        engine benchmarks vs the recorded BENCH_engine.json
 #                      baseline; fails on a >5% events/sec regression
+#                      (run with --update via bench-engine to re-record)
 #   bench-runall       serial-vs-parallel + cold-vs-warm-cache wall clock
 #                      for the experiment runner -> BENCH_runall.json
 #   run-all            all 22 experiments, serial (bit-for-bit the
@@ -36,7 +39,7 @@ REPRO_JOBS ?= 4
 COVER_MIN ?= 92
 
 .PHONY: test test-fast test-props test-faults regen-golden coverage \
-	bench-engine bench-engine-quick bench-guard bench-runall \
+	bench-engine bench-engine-quick bench-frames bench-guard bench-runall \
 	run-all run-all-par run-all-faults run-e20 run-e21 run-e22 \
 	trace-export dashboard
 
@@ -67,6 +70,10 @@ bench-engine:
 # CI-sized smoke run of the same benchmarks (seconds, not minutes).
 bench-engine-quick:
 	$(PYTHON) benchmarks/bench_engine.py --quick
+
+# Frame allocation diet alone: one built+parsed UDP frame per event.
+bench-frames:
+	$(PYTHON) benchmarks/bench_engine.py frame_churn
 
 # Regression fence: fail if the engine hot path lost more than 5%
 # events/sec against the recorded baseline (use --repeat to de-noise).

@@ -8,7 +8,7 @@ profiles:
 
 * **timer_churn** — thousands of interleaved processes each sleeping on
   fresh :class:`Timeout` objects (the NIC/OS pipeline-stage pattern);
-  exercises heap push/pop throughput.
+  exercises timer-wheel insert/drain throughput.
 * **zero_delay_chain** — long chains of ``yield sim.timeout(0)`` (the
   wake-up-chain pattern used for same-instant hand-offs); exercises the
   same-timestamp fast path.
@@ -16,6 +16,12 @@ profiles:
   quantum/poll pattern in the kernel-bypass and SNAP models).
 * **cancel_churn** — retry loops that arm a guard timer and cancel it
   (the Tryagain pattern); only runs on engines with ``Timeout.cancel``.
+* **wheel_stress** — delays hopping across wheel levels (microseconds
+  to hundreds of thousands of ticks), forcing upper-level cascades and
+  bucket drains rather than the L0 steady state.
+* **frame_churn** — build + parse a byte-exact UDP frame per event (the
+  data-plane allocation pattern); exercises the ``Frame`` slots/lazy-
+  meta diet alongside the engine.
 
 Usage::
 
@@ -23,13 +29,18 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_engine.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/bench_engine.py --out BENCH_engine.json
     PYTHONPATH=src python benchmarks/bench_engine.py --guard BENCH_engine.json
+    PYTHONPATH=src python benchmarks/bench_engine.py --guard BENCH_engine.json --update
 
 Each benchmark reports events/sec (scheduled engine events divided by
 wall-clock time, best of ``--repeat`` runs).  ``--out`` writes a JSON
 report so successive PRs can track the trajectory; ``--guard BASELINE``
 compares the current run against a stored report and fails (exit 1) if
 any benchmark regresses more than ``--tolerance`` (default 5%) — the
-regression fence for hot-path changes like the observability hooks.
+regression fence for hot-path changes like the observability hooks.  A
+benchmark that ran at baseline size but has no baseline entry is a
+guard failure too, so new benchmarks cannot silently dodge the fence;
+``--guard BASELINE --update`` rewrites the baseline from this run (in
+canonical key order) instead of judging it.
 """
 
 from __future__ import annotations
@@ -39,6 +50,8 @@ import json
 import sys
 import time
 
+from repro.net.headers import MacAddress
+from repro.net.packet import build_udp_frame, ip_address, parse_udp_frame
 from repro.sim import AnyOf, Simulator
 from repro.sim.engine import Timeout
 
@@ -116,6 +129,46 @@ def _run_cancel_churn(n_procs: int, n_rounds: int) -> tuple[Simulator, int]:
     return sim, n_procs * n_rounds * 2
 
 
+def _run_wheel_stress(n_procs: int, n_timers: int) -> tuple[Simulator, int]:
+    """Delays hopping across wheel levels: cascade/drain stress."""
+    sim = Simulator()
+
+    def sleeper(delay):
+        for _ in range(n_timers):
+            yield sim.timeout(delay)
+            # A multiplicative hop keeps successive delays spread over
+            # ~five orders of magnitude, so inserts land on every wheel
+            # level and each long sleep cascades back down to L0.
+            delay = (delay * 5) % 199_999 + 1
+
+    for i in range(n_procs):
+        sim.process(sleeper(3 + i))
+    sim.run()
+    return sim, n_procs * n_timers
+
+
+def _run_frame_churn(n_procs: int, n_frames: int) -> tuple[Simulator, int]:
+    """One byte-exact UDP frame built and parsed per event."""
+    sim = Simulator()
+    src_mac, dst_mac = MacAddress(0x0A0B0C0D0E01), MacAddress(0x0A0B0C0D0E02)
+    src_ip, dst_ip = ip_address("10.0.0.1"), ip_address("10.0.0.2")
+    payload = bytes(64)
+
+    def pump(delay):
+        for _ in range(n_frames):
+            frame = build_udp_frame(
+                src_mac, dst_mac, src_ip, dst_ip, 9000, 9001, payload,
+                born_ns=sim.now,
+            )
+            parse_udp_frame(frame, verify=False)
+            yield sim.timeout(delay)
+
+    for i in range(n_procs):
+        sim.process(pump(5 + (i * 11) % 53))
+    sim.run()
+    return sim, n_procs * n_frames
+
+
 BENCHMARKS = {
     "timer_churn": {
         "runner": _run_timer_churn,
@@ -137,6 +190,16 @@ BENCHMARKS = {
         "full": (1_000, 200),
         "quick": (100, 40),
         "requires_cancel": True,
+    },
+    "wheel_stress": {
+        "runner": _run_wheel_stress,
+        "full": (1_000, 100),
+        "quick": (100, 20),
+    },
+    "frame_churn": {
+        "runner": _run_frame_churn,
+        "full": (500, 200),
+        "quick": (50, 40),
     },
 }
 
@@ -175,12 +238,22 @@ def run_benchmark(name: str, quick: bool = False, repeat: int = 3) -> dict:
 def check_guard(report: dict, baseline: dict, tolerance: float) -> list[str]:
     """Regressions of ``report`` vs ``baseline`` beyond ``tolerance``.
 
-    Only benchmarks present in both and run at matching sizes are
-    compared (a --quick run against a full baseline would be noise).
-    Returns human-readable failure lines; empty means within fence.
+    Benchmarks present in both and run at matching sizes are compared
+    (a --quick run against a full baseline would be noise).  A
+    benchmark in the current report with *no* baseline entry at all is
+    a failure — new benchmarks must be recorded (``--update``) before
+    the fence can vouch for them.  Returns human-readable failure
+    lines; empty means within fence.
     """
     failures = []
-    for name, base in baseline.get("benchmarks", {}).items():
+    base_benchmarks = baseline.get("benchmarks", {})
+    for name in report["benchmarks"]:
+        if name not in base_benchmarks:
+            failures.append(
+                f"{name}: no baseline entry — rerun with --update (or "
+                f"`make bench-engine`) to record one"
+            )
+    for name, base in base_benchmarks.items():
         current = report["benchmarks"].get(name)
         if current is None or current["args"] != base["args"]:
             continue
@@ -210,6 +283,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.05,
                         help="allowed fractional regression for --guard "
                              "(default 0.05)")
+    parser.add_argument("--update", action="store_true",
+                        help="with --guard: rewrite the baseline from this "
+                             "run (canonical key order) instead of judging "
+                             "it; benchmarks not run this time keep their "
+                             "old entries")
     parser.add_argument("names", nargs="*", choices=[[], *BENCHMARKS],
                         help="subset of benchmarks to run")
     opts = parser.parse_args(argv)
@@ -217,6 +295,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--repeat must be >= 1")
     if not 0 <= opts.tolerance < 1:
         parser.error("--tolerance must be in [0, 1)")
+    if opts.update and not opts.guard:
+        parser.error("--update requires --guard BASELINE")
 
     selected = opts.names or list(BENCHMARKS)
     report = {
@@ -240,6 +320,24 @@ def main(argv: list[str] | None = None) -> int:
             handle.write("\n")
         print(f"report written to {opts.out}")
     if opts.guard:
+        if opts.update:
+            try:
+                with open(opts.guard) as handle:
+                    baseline = json.load(handle)
+            except FileNotFoundError:
+                baseline = {}
+            merged = dict(baseline)
+            merged.update({k: v for k, v in report.items()
+                           if k != "benchmarks"})
+            merged_benchmarks = dict(baseline.get("benchmarks", {}))
+            merged_benchmarks.update(report["benchmarks"])
+            merged["benchmarks"] = merged_benchmarks
+            with open(opts.guard, "w") as handle:
+                json.dump(merged, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"\nbaseline {opts.guard} updated "
+                  f"({len(report['benchmarks'])} benchmark(s) rewritten)")
+            return 0
         with open(opts.guard) as handle:
             baseline = json.load(handle)
         failures = check_guard(report, baseline, opts.tolerance)

@@ -21,7 +21,6 @@ and independent.
 
 from __future__ import annotations
 
-import dataclasses
 import random
 from dataclasses import dataclass
 
@@ -71,7 +70,8 @@ def _corrupt_frame(frame, rng: random.Random):
     data = bytearray(frame.data)
     index = rng.randrange(len(data))
     data[index] ^= 1 << rng.randrange(8)
-    return dataclasses.replace(frame, data=bytes(data))
+    return type(frame)(data=bytes(data), born_ns=frame.born_ns,
+                       meta=frame.copy_meta())
 
 
 class LinkFaultInjector:

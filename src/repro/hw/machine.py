@@ -94,7 +94,7 @@ class Machine:
             "now_ns": self.sim.now,
             # Live event-queue depth: a window probe for the
             # time-series layer (pending timers track in-flight work).
-            "event_queue": len(self.sim._heap),
+            "event_queue": self.sim.pending_timers,
         })
         for core in self.cores:
             registry.bind(f"{prefix}.core{core.id}", core.counters)

@@ -9,7 +9,7 @@ break delivery — the same failure surface as hardware.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .checksum import internet_checksum
 from .headers import (
@@ -45,18 +45,71 @@ def ip_address(text: str) -> int:
     return value
 
 
-@dataclass(frozen=True)
 class Frame:
-    """An Ethernet frame: raw bytes plus simulation metadata."""
+    """An Ethernet frame: raw bytes plus simulation metadata.
 
-    data: bytes
-    #: Simulation time the frame was created (for end-to-end latency).
-    born_ns: float = 0.0
-    #: Opaque per-frame metadata for experiments (request ids etc.).
-    meta: dict = field(default_factory=dict, compare=False, hash=False)
+    Frames are the single most-allocated object in any end-to-end
+    experiment, so the class is ``__slots__``-only and the ``meta``
+    dict — opaque per-frame metadata for experiments (request ids,
+    observability contexts) — is allocated lazily on first use.  Most
+    data-plane frames never touch it: an unarmed run moves frames with
+    two fields and no dict at all.  Read-side consumers should prefer
+    :meth:`peek_meta` / :meth:`pop_meta` / :meth:`copy_meta`, which
+    never materialise the dict; writing through :attr:`meta` allocates
+    it on demand.
+    """
+
+    __slots__ = ("data", "born_ns", "_meta")
+
+    def __init__(self, data: bytes, born_ns: float = 0.0,
+                 meta: dict | None = None):
+        self.data = data
+        #: Simulation time the frame was created (for end-to-end latency).
+        self.born_ns = born_ns
+        # An empty dict is normalised away: the frame allocates its own
+        # on first write, so callers passing a dict share it only when
+        # it carries something.
+        self._meta = meta or None
+
+    @property
+    def meta(self) -> dict:
+        """The metadata dict, allocated on first access."""
+        meta = self._meta
+        if meta is None:
+            meta = self._meta = {}
+        return meta
+
+    def peek_meta(self, key, default=None):
+        """``meta.get(key, default)`` without materialising the dict."""
+        meta = self._meta
+        return default if meta is None else meta.get(key, default)
+
+    def pop_meta(self, key, default=None):
+        """``meta.pop(key, default)`` without materialising the dict."""
+        meta = self._meta
+        return default if meta is None else meta.pop(key, default)
+
+    def copy_meta(self) -> dict:
+        """A shallow copy of the metadata (a fresh dict if empty)."""
+        meta = self._meta
+        return {} if not meta else dict(meta)
 
     def __len__(self) -> int:
         return len(self.data)
+
+    # Equality/hash preserve the old frozen-dataclass contract: frames
+    # compare by wire bytes and birth time; metadata never counts.
+    def __eq__(self, other) -> bool:
+        if type(other) is not Frame:
+            return NotImplemented
+        return self.data == other.data and self.born_ns == other.born_ns
+
+    def __hash__(self) -> int:
+        return hash((self.data, self.born_ns))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Frame(data=<{len(self.data)} B>, born_ns={self.born_ns}, "
+                f"meta={self._meta})")
 
     @property
     def wire_bytes(self) -> int:
@@ -97,7 +150,7 @@ def build_udp_frame(
     )
     eth = EthernetHeader(dst=dst_mac, src=src_mac, ethertype=ETHERTYPE_IPV4)
     data = eth.pack() + ip.pack() + udp.pack() + payload
-    return Frame(data=data, born_ns=born_ns, meta=meta or {})
+    return Frame(data=data, born_ns=born_ns, meta=meta or None)
 
 
 def parse_udp_frame(frame: Frame, verify: bool = True) -> ParsedUdp:

@@ -71,8 +71,8 @@ class BaseNic:
             yield from self.port.send(frame)
             obs = self.obs
             if obs is not None:
-                ctx = frame.meta.get("obs")
-                queued_ns = frame.meta.pop("_obs_txq_ns", None)
+                ctx = frame.peek_meta("obs")
+                queued_ns = frame.pop_meta("_obs_txq_ns")
                 if ctx is not None and queued_ns is not None:
                     obs.record("nic.tx", "nic", ctx, queued_ns, self.sim.now)
                 if ctx is not None:
@@ -89,7 +89,7 @@ class BaseNic:
 
     def queue_tx(self, frame: Frame) -> None:
         """Hand a frame to the device TX engine (device-side call)."""
-        if self.obs is not None and "obs" in frame.meta:
+        if self.obs is not None and frame.peek_meta("obs") is not None:
             frame.meta["_obs_txq_ns"] = self.sim.now
         self._tx_engine.try_put(frame)
 

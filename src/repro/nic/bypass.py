@@ -95,7 +95,7 @@ class BypassNic(BaseNic):
             if self.rx_fault is not None:
                 yield from self.rx_fault()
             obs = self.obs
-            ctx = frame.meta.get("obs") if obs is not None else None
+            ctx = frame.peek_meta("obs") if obs is not None else None
             if ctx is not None:
                 obs.record("wire.req", "net", ctx, frame.born_ns, self.sim.now)
             rx_start_ns = self.sim.now
@@ -169,7 +169,7 @@ class BypassNic(BaseNic):
                         waited / per_iter_ns * params.pmd_poll_instructions
                     )
             frame = queue.ring.pop(0)
-            if self.obs is not None and "obs" in frame.meta:
+            if self.obs is not None and frame.peek_meta("obs") is not None:
                 # Host receipt: the "app" span runs from here until the
                 # response reaches transmit().
                 frame.meta["_obs_rx_ns"] = self.sim.now
@@ -215,7 +215,7 @@ class BypassNic(BaseNic):
                         waited / per_sweep_ns * sweep_cost
                     )
             frame = ready.ring.pop(0)
-            if self.obs is not None and "obs" in frame.meta:
+            if self.obs is not None and frame.peek_meta("obs") is not None:
                 frame.meta["_obs_rx_ns"] = self.sim.now
             yield from core.execute(sweep_cost + params.pmd_rx_instructions)
             return frame
@@ -231,8 +231,8 @@ class BypassNic(BaseNic):
             # Close the host-software window opened at ring pop: parse,
             # unmarshal, handler, marshal (and for Snap, both channel
             # hops) all land in one "app" span.
-            ctx = frame.meta.get("obs")
-            rx_ns = frame.meta.pop("_obs_rx_ns", None)
+            ctx = frame.peek_meta("obs")
+            rx_ns = frame.pop_meta("_obs_rx_ns")
             if ctx is not None and rx_ns is not None:
                 obs.record("app", "app", ctx, rx_ns, self.sim.now)
         yield from core.execute(self.params.pmd_tx_instructions)

@@ -101,7 +101,7 @@ class DmaNic(BaseNic):
             if self.rx_fault is not None:
                 yield from self.rx_fault()
             obs = self.obs
-            ctx = frame.meta.get("obs") if obs is not None else None
+            ctx = frame.peek_meta("obs") if obs is not None else None
             if ctx is not None:
                 obs.record("wire.req", "net", ctx, frame.born_ns, self.sim.now)
             rx_start_ns = self.sim.now

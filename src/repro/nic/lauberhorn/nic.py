@@ -607,7 +607,7 @@ class LauberhornNic(BaseNic, HomeDevice):
             if self.rx_fault is not None:
                 yield from self.rx_fault()
             obs = self.obs
-            ctx = frame.meta.get("obs") if obs is not None else None
+            ctx = frame.peek_meta("obs") if obs is not None else None
             if ctx is not None:
                 obs.record("wire.req", "net", ctx, frame.born_ns, self.sim.now)
             rx_start_ns = self.sim.now
@@ -637,7 +637,7 @@ class LauberhornNic(BaseNic, HomeDevice):
                     reply_mac=parsed.eth.src,
                     born_ns=frame.born_ns,
                     arrived_ns=self.sim.now,
-                    meta=dict(frame.meta),
+                    meta=frame.copy_meta(),
                 )
                 if endpoint.armed:
                     self._consume_parked_and_deliver(endpoint, reply)
@@ -674,7 +674,7 @@ class LauberhornNic(BaseNic, HomeDevice):
                 reply_mac=parsed.eth.src,
                 born_ns=frame.born_ns,
                 arrived_ns=self.sim.now,
-                meta=dict(frame.meta),
+                meta=frame.copy_meta(),
             )
             self.load.service(service.service_id).note_arrival(self.sim.now)
             self.telemetry.on_arrival(request.tag, service.service_id, self.sim.now)

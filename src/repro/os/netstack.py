@@ -210,7 +210,7 @@ class NetStack:
         scheduler) getting it onto a core.
         """
         obs = self.obs
-        ctx = frame.meta.get("obs") if obs is not None else None
+        ctx = frame.peek_meta("obs") if obs is not None else None
         softirq_start_ns = self.sim.now
         yield from core.execute(self.costs.softirq_instructions)
         try:
@@ -230,7 +230,7 @@ class NetStack:
             dst_ip=parsed.ip.dst,
             dst_port=parsed.udp.dst_port,
             born_ns=frame.born_ns,
-            meta=dict(frame.meta),
+            meta=frame.copy_meta(),
         )
         socket.stats.enqueued += 1
         if socket.waiters:

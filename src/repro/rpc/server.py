@@ -195,7 +195,7 @@ def bypass_worker(
             dst_ip=parsed.ip.src,
             dst_port=parsed.udp.src_port,
             payload=response.pack(),
-            meta=dict(frame.meta),
+            meta=frame.copy_meta(),
         )
 
         def _tx(core, thread, out=out):

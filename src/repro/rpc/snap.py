@@ -160,7 +160,7 @@ def snap_engine_body(nic, queues, engine: SnapEngine):
 
             yield ops.Call(_tx)
             continue
-        if nic.obs is not None and "obs" in frame.meta:
+        if nic.obs is not None and frame.peek_meta("obs") is not None:
             # Host receipt: the "app" span runs from the engine's ring
             # pop until the response re-enters nic.transmit — both
             # channel hops and the worker land inside it.
@@ -186,7 +186,7 @@ def snap_engine_body(nic, queues, engine: SnapEngine):
                 reply_ip=parsed.ip.src,
                 reply_port=parsed.udp.src_port,
                 src_port=parsed.udp.dst_port,
-                meta=dict(frame.meta),
+                meta=frame.copy_meta(),
             )
         )
 

@@ -1,11 +1,11 @@
-"""Engine profiling hooks: event counts and queue high-water marks.
+"""Engine profiling hooks: event counts and wheel occupancy marks.
 
 The :class:`~repro.sim.engine.Simulator` maintains a handful of cheap
-counters on its hot path (dispatched events, heap pushes, heap
-high-water mark, same-instant fast-path hits, timer cancellations).
-This module turns them into a readable report so benchmarks and
-experiments can see *where* engine time goes and how deep the timer
-heap actually gets::
+counters on its hot path (dispatched events, timer-wheel pushes, wheel
+occupancy high-water, same-instant fast-path hits, timer cancellations,
+bucket drains and level cascades).  This module turns them into a
+readable report so benchmarks and experiments can see *where* engine
+time goes and how the timer wheel actually behaves::
 
     from repro.sim.profile import attach_profile
 
@@ -34,13 +34,15 @@ class ProfileSnapshot:
     """A frozen copy of the engine counters at one moment."""
 
     events_dispatched: int
-    heap_pushes: int
-    heap_high_water: int
+    wheel_pushes: int
+    wheel_high_water: int
     fast_path_events: int
     timeouts_cancelled: int
-    heap_compactions: int
+    wheel_sweeps: int
+    bucket_drains: int
+    cascaded_entries: int
     pending_tombstones: int
-    heap_size: int
+    wheel_size: int
 
 
 class EngineProfile:
@@ -51,36 +53,40 @@ class EngineProfile:
 
     def snapshot(self) -> ProfileSnapshot:
         sim = self.sim
-        # Sequence numbers are consumed only by heap pushes and NORMAL
-        # same-instant appends, so heap pushes are derived rather than
+        # Sequence numbers are consumed only by wheel pushes and NORMAL
+        # same-instant appends, so wheel pushes are derived rather than
         # counted on the push path.
         return ProfileSnapshot(
             events_dispatched=sim._stat_dispatched,
-            heap_pushes=sim._seq - sim._stat_norm_fifo,
-            heap_high_water=sim._stat_heap_max,
+            wheel_pushes=sim._seq - sim._stat_norm_fifo,
+            wheel_high_water=sim._stat_wheel_max,
             fast_path_events=sim._stat_urgent_fifo + sim._stat_norm_fifo,
             timeouts_cancelled=sim._stat_cancels,
-            heap_compactions=sim._stat_compactions,
+            wheel_sweeps=sim._stat_sweeps,
+            bucket_drains=sim._stat_drains,
+            cascaded_entries=sim._stat_cascades,
             pending_tombstones=sim._n_cancelled,
-            heap_size=len(sim._heap),
+            wheel_size=sim.pending_timers,
         )
 
     def report(self) -> dict[str, int | float]:
         """JSON-ready counter dict, plus the fast-path hit ratio."""
         snap = self.snapshot()
-        scheduled = snap.heap_pushes + snap.fast_path_events
+        scheduled = snap.wheel_pushes + snap.fast_path_events
         data: dict[str, int | float] = {
             "events_dispatched": snap.events_dispatched,
-            "heap_pushes": snap.heap_pushes,
-            "heap_high_water": snap.heap_high_water,
+            "wheel_pushes": snap.wheel_pushes,
+            "wheel_high_water": snap.wheel_high_water,
             "fast_path_events": snap.fast_path_events,
             "fast_path_ratio": (
                 round(snap.fast_path_events / scheduled, 4) if scheduled else 0.0
             ),
             "timeouts_cancelled": snap.timeouts_cancelled,
-            "heap_compactions": snap.heap_compactions,
+            "wheel_sweeps": snap.wheel_sweeps,
+            "bucket_drains": snap.bucket_drains,
+            "cascaded_entries": snap.cascaded_entries,
             "pending_tombstones": snap.pending_tombstones,
-            "heap_size": snap.heap_size,
+            "wheel_size": snap.wheel_size,
         }
         return data
 

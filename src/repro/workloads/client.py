@@ -179,8 +179,8 @@ class ClientNode:
             if self.obs is not None:
                 root = self._obs_roots.pop(message.header.request_id, None)
                 if root is not None:
-                    ctx = frame.meta.get("obs")
-                    wire_ns = frame.meta.pop("_obs_wire_ns", frame.born_ns)
+                    ctx = frame.peek_meta("obs")
+                    wire_ns = frame.pop_meta("_obs_wire_ns", frame.born_ns)
                     if ctx is not None:
                         self.obs.record("wire.resp", "net", ctx,
                                         wire_ns, self.sim.now)

@@ -96,3 +96,33 @@ def test_roundtrip_any_ports(sport, dport):
     frame = build_udp_frame(SRC_MAC, DST_MAC, SRC_IP, DST_IP, sport, dport, b"p")
     parsed = parse_udp_frame(frame)
     assert (parsed.udp.src_port, parsed.udp.dst_port) == (sport, dport)
+
+
+def test_frame_meta_is_lazily_allocated():
+    # Unarmed data-plane frames must not pay for a metadata dict.
+    frame = make(b"x")
+    assert frame._meta is None
+    assert frame.peek_meta("obs") is None
+    assert frame.pop_meta("obs", "fallback") == "fallback"
+    assert frame.copy_meta() == {}
+    # None of the read-side helpers may have materialised the dict.
+    assert frame._meta is None
+    # Writing through the property allocates exactly then.
+    frame.meta["req"] = 7
+    assert frame._meta == {"req": 7}
+    assert frame.peek_meta("req") == 7
+    assert frame.pop_meta("req") == 7
+    assert frame._meta == {}
+
+
+def test_frame_empty_meta_dict_is_normalised():
+    assert Frame(b"x", meta={})._meta is None
+    assert make(b"x", meta={})._meta is None
+
+
+def test_frame_equality_ignores_meta():
+    a = make(b"x", born_ns=5.0, meta={"req": 1})
+    b = make(b"x", born_ns=5.0)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != make(b"y", born_ns=5.0)

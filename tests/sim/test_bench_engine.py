@@ -24,14 +24,14 @@ def test_quick_run_writes_report(tmp_path, capsys):
     assert report["mode"] == "quick"
     assert report["has_cancel"] is True
     names = set(report["benchmarks"])
-    assert names == {"timer_churn", "zero_delay_chain",
-                     "anyof_fanin", "cancel_churn"}
+    assert names == {"timer_churn", "zero_delay_chain", "anyof_fanin",
+                     "cancel_churn", "wheel_stress", "frame_churn"}
     for result in report["benchmarks"].values():
         assert result["events"] > 0
         assert result["events_per_sec"] > 0
         profile = result["profile"]
         assert profile["events_dispatched"] > 0
-        assert profile["heap_high_water"] >= 0
+        assert profile["wheel_high_water"] >= 0
     # The quick run prints a table but must not prompt or block.
     assert "benchmark" in capsys.readouterr().out
 
@@ -50,8 +50,55 @@ def test_profile_counters_consistent():
 
     report = attach_profile(sim).report()
     assert report["events_dispatched"] >= events
-    # Every timer in this workload is future-dated: all heap pushes.
-    assert report["heap_pushes"] >= events
-    assert 0 < report["heap_high_water"] <= 50 + 1
+    # Every timer in this workload is future-dated: all wheel pushes.
+    assert report["wheel_pushes"] >= events
+    assert 0 < report["wheel_high_water"] <= 50 + 1
     assert report["timeouts_cancelled"] == 0
-    assert report["heap_size"] == 0  # run() drained the heap
+    assert report["wheel_size"] == 0  # run() drained the wheel
+
+
+def test_wheel_stress_exercises_cascades():
+    sim, events = bench_engine._run_wheel_stress(50, 20)
+    from repro.sim import attach_profile
+
+    report = attach_profile(sim).report()
+    assert report["events_dispatched"] >= events
+    # Multi-level delays mean upper-level inserts cascading back down
+    # and L0 buckets actually draining — the paths this workload exists
+    # to stress.
+    assert report["cascaded_entries"] > 0
+    assert report["bucket_drains"] > 0
+    assert report["wheel_size"] == 0
+
+
+def test_guard_fails_on_missing_baseline_entry():
+    report = {"benchmarks": {
+        "timer_churn": {"args": [1, 1], "events_per_sec": 100},
+        "brand_new": {"args": [1, 1], "events_per_sec": 100},
+    }}
+    baseline = {"benchmarks": {
+        "timer_churn": {"args": [1, 1], "events_per_sec": 100},
+    }}
+    failures = bench_engine.check_guard(report, baseline, tolerance=0.05)
+    assert len(failures) == 1
+    assert "brand_new" in failures[0]
+    assert "no baseline entry" in failures[0]
+
+
+def test_guard_update_rewrites_baseline_canonically(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({
+        "benchmarks": {
+            "retired_bench": {"args": [9, 9], "events_per_sec": 1},
+        },
+    }))
+    assert bench_engine.main(["--quick", "--repeat", "1",
+                              "--guard", str(baseline), "--update",
+                              "timer_churn"]) == 0
+    text = baseline.read_text()
+    updated = json.loads(text)
+    # The run's entries replace their baseline counterparts; untouched
+    # entries survive, and the file is in canonical sorted-key order.
+    assert "timer_churn" in updated["benchmarks"]
+    assert "retired_bench" in updated["benchmarks"]
+    assert text == json.dumps(updated, indent=2, sort_keys=True) + "\n"
