@@ -28,6 +28,8 @@
 #                      results/e21_timeline.json
 #   run-e22            control-plane policy tournaments + epoch
 #                      migration -> results/e22_control.json
+#   run-e23            rack-scale fleet grid: replica scaling, Zipf
+#                      skew, NIC placement -> results/e23_fleet.json
 #   trace-export       Perfetto/Chrome-trace artifact for all four
 #                      stacks -> results/e20_trace.json (schema-checked)
 #   dashboard          self-contained HTML from the E21 artifact ->
@@ -41,7 +43,7 @@ COVER_MIN ?= 92
 .PHONY: test test-fast test-props test-faults regen-golden coverage \
 	bench-engine bench-engine-quick bench-frames bench-guard bench-runall \
 	run-all run-all-par run-all-faults run-e20 run-e21 run-e22 \
-	trace-export dashboard
+	run-e23 trace-export dashboard
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -101,6 +103,10 @@ run-e21:
 # Policy tournaments + epoch migration -> results/e22_control.json.
 run-e22:
 	$(PYTHON) -m repro.experiments.run_all e22
+
+# Rack-scale fleets (scaling/skew/placement) -> results/e23_fleet.json.
+run-e23:
+	$(PYTHON) -m repro.experiments.run_all e23
 
 trace-export:
 	$(PYTHON) tools/trace_export.py --all --out results/e20_trace.json --validate

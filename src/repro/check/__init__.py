@@ -14,11 +14,13 @@ Checks are recorded, not raised mid-run; :meth:`assert_clean` raises
 installed (and nothing costs anything) unless a harness opts in.
 """
 
+from .fleet import install_fleet_checks
 from .invariants import install_checks
 from .registry import CheckRegistry, InvariantViolation, Violation
 
 __all__ = [
     "install_checks",
+    "install_fleet_checks",
     "CheckRegistry",
     "InvariantViolation",
     "Violation",

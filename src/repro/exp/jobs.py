@@ -27,6 +27,7 @@ from ..experiments import crossover as _crossover
 from ..experiments import dynamic_mix as _dynamic_mix
 from ..experiments import e21_timeline as _timeline
 from ..experiments import e22_control as _control
+from ..experiments import e23_fleet as _fleet
 from ..experiments import fault_sweep as _fault_sweep
 from ..experiments import four_stacks as _four_stacks
 from ..experiments import load_sweep as _load_sweep
@@ -309,6 +310,28 @@ def _assemble_control(values: list[Any]) -> Any:
     return jsonable({"cells": cells, "adaptive": adaptive})
 
 
+def _fleet_jobs(root_seed: int) -> list[JobSpec]:
+    return [
+        _seeded_spec(
+            f"e23/{section}@{label}", "e23",
+            f"{_EXP}.e23_fleet:measure_fleet_cell",
+            _point_seed(root_seed, "e23", f"{section}@{label}"),
+            section=section, label=label,
+        )
+        for section in _fleet.SECTIONS
+        for label in _fleet.cell_labels(section)
+    ]
+
+
+def _assemble_fleet(values: list[Any]) -> Any:
+    cells = [_fleet.FleetCell(**v) for v in values]
+    _fleet.render_fleet(cells)
+    payload = _fleet.write_fleet_artifact(cells)
+    _fleet.validate_fleet_payload(payload)
+    print(f"[wrote {_fleet.FLEET_ARTIFACT}: {len(payload['cells'])} cells]")
+    return jsonable(cells)
+
+
 def _points(name: str, title: str, build_jobs, assemble) -> ExperimentSpec:
     return ExperimentSpec(name=name, title=title, build_jobs=build_jobs,
                           assemble=assemble)
@@ -365,6 +388,9 @@ EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
         _points("e22", "Adaptive control plane — policy tournaments & "
                        "epoch migration",
                 _control_jobs, _assemble_control),
+        _points("e23", "Rack-scale fleets — replica scaling, skew & "
+                       "coherent-NIC placement",
+                _fleet_jobs, _assemble_fleet),
     ]
 }
 

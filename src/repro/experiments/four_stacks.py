@@ -20,16 +20,13 @@ from dataclasses import dataclass
 
 from ..metrics.cycles import CycleWindow
 from ..metrics.histogram import LatencyRecorder
-from ..nic.lauberhorn import EndpointKind
-from ..os.nicsched import lauberhorn_user_loop
-from ..rpc.server import bypass_worker, linux_udp_worker
-from ..rpc.snap import SnapEngine, snap_engine_body, snap_worker_body
 from ..sim.clock import MS
 from .report import fmt_ns, print_table
 from .testbed import (
     build_bypass_testbed,
     build_lauberhorn_testbed,
     build_linux_testbed,
+    deploy_service,
 )
 
 __all__ = ["StackResult", "STACKS", "measure_stack", "render_four_stacks",
@@ -78,57 +75,15 @@ def _build_stack(stack: str):
     """A fresh echo testbed for one of the four architectures."""
     if stack == "linux":
         bed = build_linux_testbed()
-        service = bed.registry.create_service("echo", udp_port=9000)
-        method = bed.registry.add_method(service, "m", lambda a: list(a),
-                                         cost_instructions=HANDLER_COST)
-        socket = bed.netstack.bind(9000)
-        proc = bed.kernel.spawn_process("srv")
-        bed.kernel.spawn_thread(proc, linux_udp_worker(socket, bed.registry))
-        return bed, service, method
-    if stack == "snap":
+    elif stack in ("snap", "bypass"):
         bed = build_bypass_testbed()
-        service = bed.registry.create_service("echo", udp_port=9000)
-        method = bed.registry.add_method(service, "m", lambda a: list(a),
-                                         cost_instructions=HANDLER_COST)
-        bed.nic.steer_port(9000, 0)
-        engine = SnapEngine(bed.sim, bed.registry, bed.user_netctx)
-        engine_proc = bed.kernel.spawn_process("snap-engine")
-        bed.kernel.spawn_thread(
-            engine_proc, snap_engine_body(bed.nic, [bed.nic.queues[0]], engine),
-            pinned_core=0,
-        )
-        worker_proc = bed.kernel.spawn_process("snap-worker")
-        bed.kernel.spawn_thread(
-            worker_proc, snap_worker_body(engine, service), pinned_core=1,
-        )
-        return bed, service, method
-    if stack == "bypass":
-        bed = build_bypass_testbed()
-        service = bed.registry.create_service("echo", udp_port=9000)
-        method = bed.registry.add_method(service, "m", lambda a: list(a),
-                                         cost_instructions=HANDLER_COST)
-        bed.nic.steer_port(9000, 0)
-        proc = bed.kernel.spawn_process("pmd")
-        bed.kernel.spawn_thread(
-            proc, bypass_worker(bed.nic, bed.nic.queues[0], bed.user_netctx,
-                                bed.registry),
-            pinned_core=0,
-        )
-        return bed, service, method
-    if stack == "lauberhorn":
+    elif stack == "lauberhorn":
         bed = build_lauberhorn_testbed()
-        service = bed.registry.create_service("echo", udp_port=9000)
-        method = bed.registry.add_method(service, "m", lambda a: list(a),
-                                         cost_instructions=HANDLER_COST)
-        proc = bed.kernel.spawn_process("srv")
-        bed.nic.register_service(service, proc.pid)
-        endpoint = bed.nic.create_endpoint(EndpointKind.USER, service=service)
-        bed.kernel.spawn_thread(
-            proc, lauberhorn_user_loop(bed.nic, endpoint, bed.registry),
-            pinned_core=0,
-        )
-        return bed, service, method
-    raise ValueError(f"unknown stack {stack!r}")
+    else:
+        raise ValueError(f"unknown stack {stack!r}")
+    service, method = deploy_service(bed, stack,
+                                     cost_instructions=HANDLER_COST)
+    return bed, service, method
 
 
 STACKS = ("linux", "snap", "bypass", "lauberhorn")

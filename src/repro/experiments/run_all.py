@@ -42,6 +42,7 @@ from .crossover import run_crossover
 from .dynamic_mix import run_dynamic_mix
 from .e21_timeline import run_timeline
 from .e22_control import run_control
+from .e23_fleet import run_fleet
 from .fault_sweep import run_fault_sweep
 from .fig1_steps import run_fig1_steps
 from .fig2_roundtrip import run_fig2
@@ -89,6 +90,7 @@ _SERIAL = {
     "e20": lambda: run_obs_attribution(),
     "e21": lambda: run_timeline(),
     "e22": lambda: run_control(),
+    "e23": lambda: run_fleet(),
 }
 
 EXPERIMENTS = {

@@ -4,6 +4,13 @@ A *testbed* is one server machine (with one of the three NIC/stack
 flavours), a switch, and one or more client nodes, wired up with
 consistent MAC/IP identities.  Experiments ask for a testbed, register
 services, spawn workers, and drive load.
+
+The per-stack wiring lives in ``_assemble_*`` helpers shared with the
+rack-scale builder (:mod:`repro.fleet`): a fleet host is the same
+assembly pointed at a ToR port with its own MAC/IP, which is what
+makes a 1-host fleet byte-identical to these legacy beds.
+:func:`deploy_service` likewise centralises the echo-service
+deployment recipes that used to live in ``four_stacks``.
 """
 
 from __future__ import annotations
@@ -25,7 +32,8 @@ from ..rpc.service import ServiceRegistry
 from ..workloads.client import ClientNode
 
 __all__ = ["Testbed", "build_linux_testbed", "build_bypass_testbed",
-           "build_lauberhorn_testbed", "SERVER_MAC", "SERVER_IP"]
+           "build_lauberhorn_testbed", "deploy_service",
+           "SERVER_MAC", "SERVER_IP"]
 
 SERVER_MAC = MacAddress.from_string("02:00:00:00:00:01")
 SERVER_IP = ip_address("10.0.0.1")
@@ -50,24 +58,19 @@ class Testbed:
     clients: list[ClientNode] = field(default_factory=list)
     #: user-space net identity for bypass workers (bypass testbeds only)
     user_netctx: Optional[UserNetContext] = None
+    #: this server's network identity (fleet hosts override these)
+    server_mac: MacAddress = SERVER_MAC
+    server_ip: int = SERVER_IP
 
     @property
     def sim(self):
         return self.machine.sim
 
-    @property
-    def server_mac(self) -> MacAddress:
-        return SERVER_MAC
-
-    @property
-    def server_ip(self) -> int:
-        return SERVER_IP
-
     def call_args(self, service, method) -> dict:
         """Keyword arguments for :meth:`ClientNode.call` to a service."""
         return dict(
-            dst_mac=SERVER_MAC,
-            dst_ip=SERVER_IP,
+            dst_mac=self.server_mac,
+            dst_ip=self.server_ip,
             dst_port=service.udp_port,
             service_id=service.service_id,
             method_id=method.method_id,
@@ -107,6 +110,41 @@ def _base(
     return machine, switch, clients
 
 
+def _assemble_linux(
+    machine: Machine,
+    switch: SwitchFabric,
+    clients: list[ClientNode],
+    *,
+    n_queues: int = 4,
+    mac: MacAddress = SERVER_MAC,
+    ip: int = SERVER_IP,
+    port_name: str = "server",
+    nic_name: Optional[str] = None,
+) -> Testbed:
+    """Wire the conventional kernel stack onto ``switch``; no faults yet."""
+    kernel = Kernel(machine)
+    netstack = NetStack(kernel, ip=ip, mac=mac)
+    for client in clients:
+        netstack.add_neighbor(client.ip, client.mac)
+    port = switch.attach(mac, port_name)
+    nic_kwargs = {} if nic_name is None else {"name": nic_name}
+    nic = DmaNic(machine, port, n_queues=n_queues, **nic_kwargs)
+    nic.attach_kernel(kernel)
+    nic.start()
+    kernel.start()
+    return Testbed(
+        machine=machine,
+        switch=switch,
+        nic=nic,
+        kernel=kernel,
+        netstack=netstack,
+        registry=ServiceRegistry(),
+        clients=clients,
+        server_mac=mac,
+        server_ip=ip,
+    )
+
+
 def build_linux_testbed(
     params: MachineParams = ENZIAN_PCIE,
     n_clients: int = 1,
@@ -116,24 +154,7 @@ def build_linux_testbed(
 ) -> Testbed:
     """Server running the conventional kernel stack on a DMA NIC."""
     machine, switch, clients = _base(params, n_clients, seed, switch_latency_ns)
-    kernel = Kernel(machine)
-    netstack = NetStack(kernel, ip=SERVER_IP, mac=SERVER_MAC)
-    for client in clients:
-        netstack.add_neighbor(client.ip, client.mac)
-    port = switch.attach(SERVER_MAC, "server")
-    nic = DmaNic(machine, port, n_queues=n_queues)
-    nic.attach_kernel(kernel)
-    nic.start()
-    kernel.start()
-    bed = Testbed(
-        machine=machine,
-        switch=switch,
-        nic=nic,
-        kernel=kernel,
-        netstack=netstack,
-        registry=ServiceRegistry(),
-        clients=clients,
-    )
+    bed = _assemble_linux(machine, switch, clients, n_queues=n_queues)
     _finish_faults(bed)
     return bed
 
@@ -152,15 +173,35 @@ def build_bypass_testbed(
     data path never enters it.
     """
     machine, switch, clients = _base(params, n_clients, seed, switch_latency_ns)
+    bed = _assemble_bypass(machine, switch, clients, n_queues=n_queues,
+                           with_kernel=with_kernel)
+    _finish_faults(bed)
+    return bed
+
+
+def _assemble_bypass(
+    machine: Machine,
+    switch: SwitchFabric,
+    clients: list[ClientNode],
+    *,
+    n_queues: int = 1,
+    with_kernel: bool = True,
+    mac: MacAddress = SERVER_MAC,
+    ip: int = SERVER_IP,
+    port_name: str = "server",
+    nic_name: Optional[str] = None,
+) -> Testbed:
+    """Wire a kernel-bypass (PMD) stack onto ``switch``; no faults yet."""
     kernel = Kernel(machine) if with_kernel else None
-    port = switch.attach(SERVER_MAC, "server")
-    nic = BypassNic(machine, port, n_queues=n_queues)
+    port = switch.attach(mac, port_name)
+    nic_kwargs = {} if nic_name is None else {"name": nic_name}
+    nic = BypassNic(machine, port, n_queues=n_queues, **nic_kwargs)
     nic.start()
     if kernel is not None:
         kernel.register_nic(nic)
         kernel.start()
     arp = {client.ip: client.mac for client in clients}
-    bed = Testbed(
+    return Testbed(
         machine=machine,
         switch=switch,
         nic=nic,
@@ -168,10 +209,10 @@ def build_bypass_testbed(
         netstack=None,
         registry=ServiceRegistry(),
         clients=clients,
-        user_netctx=UserNetContext(ip=SERVER_IP, mac=SERVER_MAC, arp=arp),
+        user_netctx=UserNetContext(ip=ip, mac=mac, arp=arp),
+        server_mac=mac,
+        server_ip=ip,
     )
-    _finish_faults(bed)
-    return bed
 
 
 def build_lauberhorn_testbed(
@@ -186,27 +227,55 @@ def build_lauberhorn_testbed(
 ) -> Testbed:
     """Server with the Lauberhorn cache-coherent NIC (needs a coherent
     machine preset such as ENZIAN or MODERN_SERVER_CXL)."""
-    from ..nic.lauberhorn import LauberhornNic
-
     machine, switch, clients = _base(params, n_clients, seed, switch_latency_ns)
-    kernel = Kernel(machine)
-    registry = ServiceRegistry()
-    port = switch.attach(SERVER_MAC, "server")
-    nic = LauberhornNic(
-        machine,
-        port,
-        registry,
-        mac=SERVER_MAC,
-        ip=SERVER_IP,
+    bed = _assemble_lauberhorn(
+        machine, switch, clients,
         n_aux=n_aux,
         dma_threshold_bytes=dma_threshold_bytes,
         tryagain_timeout_ns=tryagain_timeout_ns,
         preempt_on_backlog=preempt_on_backlog,
     )
+    _finish_faults(bed)
+    return bed
+
+
+def _assemble_lauberhorn(
+    machine: Machine,
+    switch: SwitchFabric,
+    clients: list[ClientNode],
+    *,
+    n_aux: int = 31,
+    dma_threshold_bytes: int = 4096,
+    tryagain_timeout_ns: Optional[float] = None,
+    preempt_on_backlog: bool = False,
+    mac: MacAddress = SERVER_MAC,
+    ip: int = SERVER_IP,
+    port_name: str = "server",
+    nic_name: Optional[str] = None,
+) -> Testbed:
+    """Wire the coherent-NIC stack onto ``switch``; no faults yet."""
+    from ..nic.lauberhorn import LauberhornNic
+
+    kernel = Kernel(machine)
+    registry = ServiceRegistry()
+    port = switch.attach(mac, port_name)
+    nic_kwargs = {} if nic_name is None else {"name": nic_name}
+    nic = LauberhornNic(
+        machine,
+        port,
+        registry,
+        mac=mac,
+        ip=ip,
+        n_aux=n_aux,
+        dma_threshold_bytes=dma_threshold_bytes,
+        tryagain_timeout_ns=tryagain_timeout_ns,
+        preempt_on_backlog=preempt_on_backlog,
+        **nic_kwargs,
+    )
     kernel.register_nic(nic)
     nic.start()
     kernel.start()
-    bed = Testbed(
+    return Testbed(
         machine=machine,
         switch=switch,
         nic=nic,
@@ -214,6 +283,87 @@ def build_lauberhorn_testbed(
         netstack=None,
         registry=registry,
         clients=clients,
+        server_mac=mac,
+        server_ip=ip,
     )
-    _finish_faults(bed)
-    return bed
+
+
+_ASSEMBLERS = {
+    "linux": _assemble_linux,
+    "snap": _assemble_bypass,
+    "bypass": _assemble_bypass,
+    "lauberhorn": _assemble_lauberhorn,
+}
+
+
+def deploy_service(
+    bed: Testbed,
+    stack: str,
+    handler=None,
+    *,
+    name: str = "echo",
+    udp_port: int = 9000,
+    cost_instructions: int = 500,
+    method_name: str = "m",
+    core: int = 0,
+):
+    """Register a one-method service on ``bed`` and spawn its workers.
+
+    ``stack`` names the serving architecture the bed was assembled for
+    (``linux``/``snap``/``bypass``/``lauberhorn``); ``core`` pins the
+    primary worker (snap uses ``core`` for the engine and ``core + 1``
+    for the worker, mirroring the legacy four-stacks wiring).  Returns
+    ``(service, method)``.
+    """
+    if handler is None:
+        handler = lambda a: list(a)  # noqa: E731 — echo by default
+    service = bed.registry.create_service(name, udp_port=udp_port)
+    method = bed.registry.add_method(service, method_name, handler,
+                                     cost_instructions=cost_instructions)
+    if stack == "linux":
+        from ..rpc.server import linux_udp_worker
+
+        socket = bed.netstack.bind(udp_port)
+        proc = bed.kernel.spawn_process("srv")
+        bed.kernel.spawn_thread(proc, linux_udp_worker(socket, bed.registry))
+    elif stack == "snap":
+        from ..rpc.snap import SnapEngine, snap_engine_body, snap_worker_body
+
+        bed.nic.steer_port(udp_port, 0)
+        engine = SnapEngine(bed.sim, bed.registry, bed.user_netctx)
+        engine_proc = bed.kernel.spawn_process("snap-engine")
+        bed.kernel.spawn_thread(
+            engine_proc,
+            snap_engine_body(bed.nic, [bed.nic.queues[0]], engine),
+            pinned_core=core,
+        )
+        worker_proc = bed.kernel.spawn_process("snap-worker")
+        bed.kernel.spawn_thread(
+            worker_proc, snap_worker_body(engine, service),
+            pinned_core=core + 1,
+        )
+    elif stack == "bypass":
+        from ..rpc.server import bypass_worker
+
+        bed.nic.steer_port(udp_port, 0)
+        proc = bed.kernel.spawn_process("pmd")
+        bed.kernel.spawn_thread(
+            proc,
+            bypass_worker(bed.nic, bed.nic.queues[0], bed.user_netctx,
+                          bed.registry),
+            pinned_core=core,
+        )
+    elif stack == "lauberhorn":
+        from ..nic.lauberhorn import EndpointKind
+        from ..os.nicsched import lauberhorn_user_loop
+
+        proc = bed.kernel.spawn_process("srv")
+        bed.nic.register_service(service, proc.pid)
+        endpoint = bed.nic.create_endpoint(EndpointKind.USER, service=service)
+        bed.kernel.spawn_thread(
+            proc, lauberhorn_user_loop(bed.nic, endpoint, bed.registry),
+            pinned_core=core,
+        )
+    else:
+        raise ValueError(f"unknown stack {stack!r}")
+    return service, method

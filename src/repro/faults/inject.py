@@ -31,6 +31,7 @@ __all__ = [
     "LinkFaultInjector",
     "install_machine_faults",
     "install_testbed_faults",
+    "install_fleet_faults",
     "install_link_faults",
     "install_nic_faults",
 ]
@@ -293,4 +294,32 @@ def install_testbed_faults(bed) -> None:
     install_nic_faults(bed.nic, plan, stats)
     if plan.link.lossy:
         for client in bed.clients:
+            client.retry_timeout_ns = RETRY_TIMEOUT_NS
+
+
+def install_fleet_faults(fleet) -> None:
+    """Testbed-style fault finishing for a whole fleet.
+
+    Every port of every switch (ToRs and spine) gets link injectors
+    exactly once; a port owned by a host's NIC charges that host's
+    machine-level stats, while client and trunk ports charge the
+    fleet-level sink.  Fault RNG streams are keyed by port name alone,
+    so a 1-host fleet draws the same schedules as the legacy testbed.
+    """
+    plan = fleet.plan
+    if plan is None or not plan.active:
+        return
+    stats_by_port = {
+        host.nic.port.name: host.machine.fault_stats
+        for host in fleet.hosts
+    }
+    for switch in fleet.switches:
+        for port in switch.ports.values():
+            stats = stats_by_port.get(port.name, fleet.fault_stats)
+            install_link_faults(port.ingress, plan, stats, f"{port.name}.in")
+            install_link_faults(port.egress, plan, stats, f"{port.name}.out")
+    for host in fleet.hosts:
+        install_nic_faults(host.nic, plan, host.machine.fault_stats)
+    if plan.link.lossy:
+        for client in fleet.clients:
             client.retry_timeout_ns = RETRY_TIMEOUT_NS

@@ -1,0 +1,29 @@
+"""Rack-scale fleets: hosts x topology x load balancing (E23).
+
+The paper's claim is a datacenter claim; this package scales the
+single-machine testbeds to a rack so placement and replication
+questions (which hosts get the coherent NIC, how skew lands on
+replicas) become runnable experiments.  See docs/fleet.md.
+"""
+
+from .builder import (
+    Deployment,
+    Fleet,
+    Host,
+    HostSpec,
+    build_fleet,
+    host_ip,
+    host_mac,
+)
+from .routing import EcmpBalancer
+
+__all__ = [
+    "Deployment",
+    "EcmpBalancer",
+    "Fleet",
+    "Host",
+    "HostSpec",
+    "build_fleet",
+    "host_ip",
+    "host_mac",
+]

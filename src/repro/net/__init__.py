@@ -11,6 +11,7 @@ from .headers import (
     UdpHeader,
 )
 from .link import Link, LinkStats, Port, SwitchFabric
+from .topology import Topology, TopologySpec
 from .packet import (
     Frame,
     ParsedUdp,
@@ -32,6 +33,8 @@ __all__ = [
     "ParsedUdp",
     "Port",
     "SwitchFabric",
+    "Topology",
+    "TopologySpec",
     "UdpHeader",
     "build_udp_frame",
     "internet_checksum",

@@ -3,9 +3,18 @@
 A :class:`Link` serialises frames at line rate and delays them by the
 propagation time; a :class:`SwitchFabric` connects many ports and
 forwards by destination MAC with a fixed switching latency.  This is
-all the "network" the paper's experiments need: the argument is about
-*end-system* latency, so the wire exists mainly to carry byte-exact
-frames between a load generator and the server under test.
+all the "network" the paper's single-machine experiments need: the
+argument is about *end-system* latency, so the wire exists mainly to
+carry byte-exact frames between a load generator and the server under
+test.
+
+For rack-scale topologies (:mod:`repro.net.topology`) a fabric also
+carries *routes*: destination MACs reachable through another port
+(a trunk towards a spine or ToR switch) rather than locally attached.
+A route may name several parallel ports, in which case the fabric
+picks one by hashing the flow 4-tuple (ECMP) — deterministic,
+seed-salted, and flow-affine, so one flow never spans two paths and
+intra-flow FIFO order is preserved end to end.
 """
 
 from __future__ import annotations
@@ -64,6 +73,10 @@ class Link:
         self.fault = None
         #: optional drop observer: ``on_drop(link, frame, reason)``
         self.on_drop: Optional[Callable[["Link", Frame, str], None]] = None
+        #: optional delivery observer: ``on_deliver(link, frame)`` —
+        #: used by the fleet flow-order invariant; None keeps delivery
+        #: at a single attribute test
+        self.on_deliver: Optional[Callable[["Link", Frame], None]] = None
         #: next time the transmitter is free (models serialisation).
         self._tx_free_at = 0.0
 
@@ -103,6 +116,8 @@ class Link:
             yield self.sim.timeout(delay_ns)
             if self.rx_queue.try_put(frame):
                 self.stats.delivered += 1
+                if self.on_deliver is not None:
+                    self.on_deliver(self, frame)
             else:
                 self.count_drop(frame, "queue-full")
 
@@ -117,20 +132,25 @@ class Link:
 class Port:
     """A bidirectional attachment point on a :class:`SwitchFabric`."""
 
-    def __init__(self, fabric: "SwitchFabric", mac: MacAddress, name: str = ""):
+    def __init__(self, fabric: "SwitchFabric", mac: MacAddress, name: str = "",
+                 latency_ns: Optional[float] = None):
         self.fabric = fabric
         self.mac = mac
         self.name = name or str(mac)
+        # Trunk ports override the fabric's port latency to model the
+        # longer inter-switch runs of a rack topology.
+        propagation = (fabric.port_latency_ns if latency_ns is None
+                       else latency_ns)
         self.ingress = Link(
             fabric.sim,
             fabric.bandwidth_bps,
-            fabric.port_latency_ns,
+            propagation,
             name=f"{self.name}.in",
         )
         self.egress = Link(
             fabric.sim,
             fabric.bandwidth_bps,
-            fabric.port_latency_ns,
+            propagation,
             name=f"{self.name}.out",
         )
 
@@ -159,22 +179,45 @@ class SwitchFabric:
         bandwidth_bps: float = 100e9 / 8,
         port_latency_ns: float = 250.0,
         switching_ns: float = 300.0,
+        name: str = "switch",
     ):
         self.sim = sim
         self.bandwidth_bps = bandwidth_bps
         self.port_latency_ns = port_latency_ns
         self.switching_ns = switching_ns
+        self.name = name
         self.ports: dict[int, Port] = {}
         self.unknown_dst_drops = 0
+        #: destination MACs reachable through other switches: MAC value
+        #: -> tuple of candidate ports (several = ECMP group)
+        self.routes: dict[int, tuple[Port, ...]] = {}
+        #: where unknown destinations go (a ToR's uplinks); empty tuple
+        #: preserves the historical drop behaviour
+        self.default_routes: tuple[Port, ...] = ()
+        #: mixed into the ECMP flow hash so distinct fleets (or
+        #: switches) spread the same flows differently
+        self.ecmp_salt = 0
 
-    def attach(self, mac: MacAddress, name: str = "") -> Port:
+    def attach(self, mac: MacAddress, name: str = "",
+               latency_ns: Optional[float] = None) -> Port:
         """Create a port for ``mac`` and start its forwarding loop."""
         if mac.value in self.ports:
             raise ValueError(f"MAC {mac} already attached")
-        port = Port(self, mac, name)
+        port = Port(self, mac, name, latency_ns=latency_ns)
         self.ports[mac.value] = port
         self.sim.process(self._forward_loop(port), name=f"switch-fwd-{port.name}")
         return port
+
+    def add_route(self, mac: MacAddress | int, *ports: Port) -> None:
+        """Route frames for ``mac`` out of ``ports`` (several = ECMP)."""
+        if not ports:
+            raise ValueError("a route needs at least one port")
+        value = mac if isinstance(mac, int) else mac.value
+        self.routes[value] = tuple(ports)
+
+    def set_default_routes(self, *ports: Port) -> None:
+        """Send unknown destinations out of ``ports`` (a ToR's uplinks)."""
+        self.default_routes = tuple(ports)
 
     def bind_metrics(self, registry, prefix: str = "switch") -> None:
         """Register fabric drops and every port's link counters."""
@@ -184,6 +227,43 @@ class SwitchFabric:
         for port in self.ports.values():
             port.bind_metrics(registry, f"{prefix}.{port.name}")
 
+    def _route_port(self, dst_value: int, frame: Frame) -> Optional[Port]:
+        """Resolve a non-local destination through the route table."""
+        candidates = self.routes.get(dst_value) or self.default_routes
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0]
+        return candidates[self._flow_index(frame, len(candidates))]
+
+    def _flow_index(self, frame: Frame, n: int) -> int:
+        """ECMP member choice: RSS-style hash of the flow 4-tuple.
+
+        A pure function of the wire bytes and the fabric's salt, so the
+        same flow always takes the same path (flow affinity, hence no
+        intra-flow reordering) while distinct flows spread.  Non-UDP/IP
+        frames fall back to member 0.
+        """
+        from ..nic.rss import rss_hash
+        from .headers import (
+            ETHERTYPE_IPV4, EthernetHeader, HeaderError, Ipv4Header,
+            UdpHeader,
+        )
+
+        raw = frame.data
+        try:
+            eth = EthernetHeader.unpack(raw)
+            if eth.ethertype != ETHERTYPE_IPV4:
+                return 0
+            ip = Ipv4Header.unpack(raw[EthernetHeader.SIZE:], verify=False)
+            udp = UdpHeader.unpack(
+                raw[EthernetHeader.SIZE + Ipv4Header.SIZE:]
+            )
+        except (HeaderError, ValueError):
+            return 0
+        value = rss_hash(ip.src, ip.dst, udp.src_port, udp.dst_port)
+        return (value ^ self.ecmp_salt) % n
+
     def _forward_loop(self, port: Port):
         from .headers import EthernetHeader
 
@@ -192,6 +272,8 @@ class SwitchFabric:
             yield self.sim.timeout(self.switching_ns)
             eth = EthernetHeader.unpack(frame.data)
             target = self.ports.get(eth.dst.value)
+            if target is None:
+                target = self._route_port(eth.dst.value, frame)
             if target is None:
                 self.unknown_dst_drops += 1
                 continue

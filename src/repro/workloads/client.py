@@ -85,8 +85,14 @@ class ClientNode:
         service_id: int,
         method_id: int,
         args: Sequence[Any],
+        src_port: Optional[int] = None,
     ) -> Event:
-        """Fire one request; the returned event yields an RpcResult."""
+        """Fire one request; the returned event yields an RpcResult.
+
+        ``src_port`` pins the UDP source port (one value per *flow*) so
+        fleet load balancers see stable flow 4-tuples; the default
+        rotates through 1024 ports as before.
+        """
         request_id = self._next_request_id
         self._next_request_id += 1
         payload = marshal_args(list(args))
@@ -96,7 +102,8 @@ class ClientNode:
             dst_mac=dst_mac,
             src_ip=self.ip,
             dst_ip=dst_ip,
-            src_port=self.src_port_base + (request_id % 1024),
+            src_port=(self.src_port_base + (request_id % 1024)
+                      if src_port is None else src_port),
             dst_port=dst_port,
             payload=message.pack(),
             born_ns=self.sim.now,
@@ -145,10 +152,12 @@ class ClientNode:
         service_id: int,
         method_id: int,
         args: Sequence[Any],
+        src_port: Optional[int] = None,
     ):
         """Generator: send one request and wait for its response."""
         done = self.send_request(
-            dst_mac, dst_ip, dst_port, service_id, method_id, args
+            dst_mac, dst_ip, dst_port, service_id, method_id, args,
+            src_port=src_port,
         )
         result = yield done
         return result

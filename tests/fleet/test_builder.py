@@ -1,0 +1,123 @@
+"""Fleet assembly: identities, wiring, deployment, and replay."""
+
+import pytest
+
+from repro.experiments.testbed import SERVER_IP, SERVER_MAC
+from repro.faults.context import active
+from repro.faults.plan import FaultPlan
+from repro.fleet import HostSpec, build_fleet, host_ip, host_mac
+from repro.net.topology import TopologySpec
+from repro.sim.clock import MS
+
+MIXED = [
+    HostSpec(stack="linux", tor=0),
+    HostSpec(stack="snap", tor=1),
+    HostSpec(stack="bypass", tor=0),
+    HostSpec(stack="lauberhorn", tor=1),
+]
+
+
+def _drive(fleet, n_flows=8, per_flow=3):
+    """Closed-loop flows through the balancer; returns the RTT list."""
+    rtts = []
+
+    def flow_loop(flow):
+        client = fleet.clients[flow % len(fleet.clients)]
+        yield fleet.sim.timeout(10_000)
+        for k in range(per_flow):
+            result = yield fleet.send(client, 42_000 + flow, [k])
+            rtts.append((flow, k, result.rtt_ns))
+
+    for flow in range(n_flows):
+        fleet.sim.process(flow_loop(flow), name=f"flow{flow}")
+    fleet.run(until=100 * MS)
+    return rtts
+
+
+def test_build_validation():
+    with pytest.raises(ValueError):
+        build_fleet([])
+    with pytest.raises(ValueError):
+        build_fleet([HostSpec(tor=1)])  # only 1 ToR by default
+    with pytest.raises(ValueError):
+        HostSpec(stack="windows")
+
+
+def test_host_identities_are_positional_and_legacy_compatible():
+    fleet = build_fleet(MIXED, topo=TopologySpec(n_tors=2), n_clients=2)
+    assert len(fleet.hosts) == 4
+    # Host 0 *is* the legacy server: identity, port, and NIC names.
+    h0 = fleet.hosts[0]
+    assert h0.server_mac == SERVER_MAC and h0.server_ip == SERVER_IP
+    assert h0.nic.port.name == "server"
+    assert h0.nic.name == "dma-nic"
+    # Host i > 0: positional MAC/IP, suffixed names (no fault-stream
+    # or metric collisions with host 0).
+    for index, host in enumerate(fleet.hosts):
+        assert host.server_mac == host_mac(index)
+        assert host.server_ip == host_ip(index)
+        assert host.index == index
+        if index:
+            assert host.nic.port.name == f"host{index}"
+            assert host.nic.name.endswith(f"-h{index}")
+    # Everyone ticks on host 0's simulator.
+    assert all(m.sim is fleet.sim for m in fleet.machines)
+    assert [s.name for s in fleet.switches] == ["tor0", "tor1", "spine"]
+    assert fleet.host_for("snap") is fleet.hosts[1]
+    with pytest.raises(KeyError):
+        fleet.host_for("windows")
+
+
+def test_deploy_and_send_round_trip_across_racks():
+    fleet = build_fleet(MIXED, topo=TopologySpec(n_tors=2), n_clients=2)
+    deployments = fleet.deploy(cost_instructions=500)
+    assert [d.host.index for d in deployments] == [0, 1, 2, 3]
+    rtts = _drive(fleet, n_flows=8, per_flow=3)
+    assert len(rtts) == 24
+    spread = fleet.balancer.spread()
+    assert spread["requests"] == 24 and spread["flows"] == 8
+    assert sum(spread["routed"]) == 24
+
+
+def test_send_requires_a_deployment():
+    fleet = build_fleet([HostSpec()])
+    with pytest.raises(RuntimeError):
+        fleet.send(fleet.clients[0], 40_000, [0])
+
+
+def test_replica_subset_gets_all_the_traffic():
+    fleet = build_fleet(MIXED, topo=TopologySpec(n_tors=2))
+    fleet.deploy(replicas=[2])
+    rtts = _drive(fleet, n_flows=4, per_flow=2)
+    assert len(rtts) == 8
+    assert fleet.balancer.routed == [8]
+    assert all(d.host.index == 2 for d in fleet.deployments)
+
+
+def test_same_seed_replays_identically():
+    def run(seed):
+        fleet = build_fleet(MIXED, topo=TopologySpec(n_tors=2, n_trunks=2),
+                            n_clients=2, seed=seed)
+        fleet.deploy(cost_instructions=500)
+        return _drive(fleet, n_flows=6, per_flow=2)
+
+    assert run(3) == run(3)
+
+
+def test_ambient_fault_plan_reaches_the_fleet():
+    with active(FaultPlan.from_spec("seed=3,loss=0.05,stall=0.02")):
+        fleet = build_fleet(MIXED, topo=TopologySpec(n_tors=2))
+    assert fleet.plan is not None and fleet.plan.link.lossy
+    assert fleet.fault_stats is not None
+    fleet.deploy(cost_instructions=500)
+    rtts = _drive(fleet, n_flows=8, per_flow=4)
+    assert len(rtts) == 32  # retransmission recovers every loss
+    injected = fleet.fault_stats.total() + sum(
+        m.fault_stats.total() for m in fleet.machines
+        if m.fault_stats is not None)
+    assert injected > 0  # the plan actually fired somewhere
+
+
+def test_calm_fleet_has_no_plan():
+    fleet = build_fleet([HostSpec()])
+    assert fleet.plan is None and fleet.fault_stats is None
