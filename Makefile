@@ -16,7 +16,7 @@
 #                      (run with --update via bench-engine to re-record)
 #   bench-runall       serial-vs-parallel + cold-vs-warm-cache wall clock
 #                      for the experiment runner -> BENCH_runall.json
-#   run-all            all 22 experiments, serial (bit-for-bit the
+#   run-all            all 24 experiments, serial (bit-for-bit the
 #                      historical output)
 #   run-all-par        the same artifact fanned out over REPRO_JOBS
 #                      workers (default 4); tables are identical
@@ -30,6 +30,8 @@
 #                      migration -> results/e22_control.json
 #   run-e23            rack-scale fleet grid: replica scaling, Zipf
 #                      skew, NIC placement -> results/e23_fleet.json
+#   run-e24            multi-tenant isolation grid: budgets, DWRR,
+#                      noisy neighbours -> results/e24_tenancy.json
 #   trace-export       Perfetto/Chrome-trace artifact for all four
 #                      stacks -> results/e20_trace.json (schema-checked)
 #   dashboard          self-contained HTML from the E21 artifact ->
@@ -43,7 +45,7 @@ COVER_MIN ?= 92
 .PHONY: test test-fast test-props test-faults regen-golden coverage \
 	bench-engine bench-engine-quick bench-frames bench-guard bench-runall \
 	run-all run-all-par run-all-faults run-e20 run-e21 run-e22 \
-	run-e23 trace-export dashboard
+	run-e23 run-e24 trace-export dashboard
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -107,6 +109,10 @@ run-e22:
 # Rack-scale fleets (scaling/skew/placement) -> results/e23_fleet.json.
 run-e23:
 	$(PYTHON) -m repro.experiments.run_all e23
+
+# Multi-tenant isolation (noisy neighbours) -> results/e24_tenancy.json.
+run-e24:
+	$(PYTHON) -m repro.experiments.run_all e24
 
 trace-export:
 	$(PYTHON) tools/trace_export.py --all --out results/e20_trace.json --validate

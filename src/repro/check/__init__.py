@@ -17,10 +17,12 @@ installed (and nothing costs anything) unless a harness opts in.
 from .fleet import install_fleet_checks
 from .invariants import install_checks
 from .registry import CheckRegistry, InvariantViolation, Violation
+from .tenancy import install_tenancy_checks
 
 __all__ = [
     "install_checks",
     "install_fleet_checks",
+    "install_tenancy_checks",
     "CheckRegistry",
     "InvariantViolation",
     "Violation",

@@ -197,6 +197,10 @@ def install_fleet_checks(
             _install_scheduler_checks(reg, host.kernel)
         if hasattr(host.nic, "lstats"):
             _install_lauberhorn_checks(reg, host.nic)
+        if getattr(host.nic, "tenants", None) is not None:
+            from .tenancy import install_tenancy_checks
+
+            install_tenancy_checks(reg, host.nic)
     links = fleet_links(fleet)
     _install_conservation_checks(reg, links)
     _install_fleet_conservation(reg, links)

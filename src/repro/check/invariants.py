@@ -393,4 +393,8 @@ def install_checks(
         _install_scheduler_checks(reg, kernel)
     if nic is not None and hasattr(nic, "lstats"):
         _install_lauberhorn_checks(reg, nic)
+    if nic is not None and getattr(nic, "tenants", None) is not None:
+        from .tenancy import install_tenancy_checks
+
+        install_tenancy_checks(reg, nic)
     return reg

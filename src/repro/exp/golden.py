@@ -1,11 +1,17 @@
 """Canonical hashing for hash-pinned golden experiments.
 
 E1-E18 pin their full structured results as JSON files under
-``tests/golden/``.  E19-E21 produce large payloads (per-point fault
-matrices, trace events, windowed time series) where a full-JSON pin
-would dwarf the corpus, so they pin a SHA-256 digest instead —
-``tests/golden/hashes.json`` maps experiment name to digest, and
-``tools/regen_golden.py --hashes`` re-records it.
+``tests/golden/``.  E19-E23 produce large payloads (per-point fault
+matrices, trace events, windowed time series, control tournaments,
+fleet grids) where a full-JSON pin would dwarf the corpus, so they pin
+a SHA-256 digest instead — ``tests/golden/hashes.json`` maps
+experiment name to digest, and ``tools/regen_golden.py --hashes``
+re-records it.
+
+The digest set deliberately stops at E23: E24 is the multi-tenant
+experiment, and the E1-E23 pins are exactly the contract that an
+*unconfigured* tenancy layer leaves every historical experiment
+byte-identical.
 
 Both the pin test and the regen tool import :func:`golden_digest` from
 here so the canonicalisation can never drift between them.  The only
@@ -24,7 +30,7 @@ __all__ = ["HASHED_EXPERIMENTS", "VOLATILE_KEYS", "canonical",
            "golden_digest"]
 
 #: experiments pinned by digest rather than full JSON
-HASHED_EXPERIMENTS = ("e19", "e20", "e21")
+HASHED_EXPERIMENTS = ("e19", "e20", "e21", "e22", "e23")
 
 #: result fields measured in host wall-clock (nondeterministic)
 VOLATILE_KEYS = frozenset({"host_s_unarmed", "host_s_armed"})

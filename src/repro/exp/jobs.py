@@ -28,6 +28,7 @@ from ..experiments import dynamic_mix as _dynamic_mix
 from ..experiments import e21_timeline as _timeline
 from ..experiments import e22_control as _control
 from ..experiments import e23_fleet as _fleet
+from ..experiments import e24_tenancy as _tenancy
 from ..experiments import fault_sweep as _fault_sweep
 from ..experiments import four_stacks as _four_stacks
 from ..experiments import load_sweep as _load_sweep
@@ -332,6 +333,30 @@ def _assemble_fleet(values: list[Any]) -> Any:
     return jsonable(cells)
 
 
+def _tenancy_jobs(root_seed: int) -> list[JobSpec]:
+    fns = {"single": "measure_single_cell", "fleet": "measure_fleet_cell"}
+    return [
+        _seeded_spec(
+            f"e24/{section}@{label}", "e24",
+            f"{_EXP}.e24_tenancy:{fns[section]}",
+            _point_seed(root_seed, "e24", f"{section}@{label}"),
+            label=label,
+        )
+        for section in _tenancy.SECTIONS
+        for label in _tenancy.cell_labels(section)
+    ]
+
+
+def _assemble_tenancy(values: list[Any]) -> Any:
+    cells = [_tenancy.TenancyCell(**v) for v in values]
+    _tenancy.render_tenancy(cells)
+    payload = _tenancy.write_tenancy_artifact(cells)
+    _tenancy.validate_tenancy_payload(payload)
+    print(f"[wrote {_tenancy.TENANCY_ARTIFACT}: "
+          f"{len(payload['cells'])} cells]")
+    return jsonable(cells)
+
+
 def _points(name: str, title: str, build_jobs, assemble) -> ExperimentSpec:
     return ExperimentSpec(name=name, title=title, build_jobs=build_jobs,
                           assemble=assemble)
@@ -391,6 +416,9 @@ EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
         _points("e23", "Rack-scale fleets — replica scaling, skew & "
                        "coherent-NIC placement",
                 _fleet_jobs, _assemble_fleet),
+        _points("e24", "Multi-tenant isolation — budgets, weighted-fair "
+                       "demux & noisy neighbours",
+                _tenancy_jobs, _assemble_tenancy),
     ]
 }
 

@@ -1,4 +1,4 @@
-"""Run every experiment (E1-E22) and print the paper-shaped output.
+"""Run every experiment (E1-E24) and print the paper-shaped output.
 
 Usage::
 
@@ -43,6 +43,7 @@ from .dynamic_mix import run_dynamic_mix
 from .e21_timeline import run_timeline
 from .e22_control import run_control
 from .e23_fleet import run_fleet
+from .e24_tenancy import run_tenancy
 from .fault_sweep import run_fault_sweep
 from .fig1_steps import run_fig1_steps
 from .fig2_roundtrip import run_fig2
@@ -91,6 +92,7 @@ _SERIAL = {
     "e21": lambda: run_timeline(),
     "e22": lambda: run_control(),
     "e23": lambda: run_fleet(),
+    "e24": lambda: run_tenancy(),
 }
 
 EXPERIMENTS = {

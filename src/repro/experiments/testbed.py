@@ -306,18 +306,23 @@ def deploy_service(
     cost_instructions: int = 500,
     method_name: str = "m",
     core: int = 0,
+    tenant=None,
+    encrypted: bool = False,
 ):
     """Register a one-method service on ``bed`` and spawn its workers.
 
     ``stack`` names the serving architecture the bed was assembled for
     (``linux``/``snap``/``bypass``/``lauberhorn``); ``core`` pins the
     primary worker (snap uses ``core`` for the engine and ``core + 1``
-    for the worker, mirroring the legacy four-stacks wiring).  Returns
+    for the worker, mirroring the legacy four-stacks wiring).
+    ``tenant`` (lauberhorn only) binds the service to a tenant of the
+    NIC's attached :class:`repro.tenancy.TenantTable`.  Returns
     ``(service, method)``.
     """
     if handler is None:
         handler = lambda a: list(a)  # noqa: E731 — echo by default
-    service = bed.registry.create_service(name, udp_port=udp_port)
+    service = bed.registry.create_service(name, udp_port=udp_port,
+                                          encrypted=encrypted)
     method = bed.registry.add_method(service, method_name, handler,
                                      cost_instructions=cost_instructions)
     if stack == "linux":
@@ -358,7 +363,7 @@ def deploy_service(
         from ..os.nicsched import lauberhorn_user_loop
 
         proc = bed.kernel.spawn_process("srv")
-        bed.nic.register_service(service, proc.pid)
+        bed.nic.register_service(service, proc.pid, tenant=tenant)
         endpoint = bed.nic.create_endpoint(EndpointKind.USER, service=service)
         bed.kernel.spawn_thread(
             proc, lauberhorn_user_loop(bed.nic, endpoint, bed.registry),

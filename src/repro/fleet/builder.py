@@ -160,19 +160,27 @@ class Fleet:
         cost_instructions: int = 500,
         method_name: str = "m",
         replicas: Optional[Sequence[int]] = None,
+        tenant=None,
     ) -> list[Deployment]:
         """Deploy one service on ``replicas`` (host indices; default all)
-        and stand up the ECMP balancer over them."""
+        and stand up the ECMP balancer over them.  ``tenant`` (a tenant
+        *name*) binds the replicas on tenanted lauberhorn hosts to that
+        tenant of each host's own table."""
         indices = (list(range(len(self.hosts)))
                    if replicas is None else list(replicas))
         deployments = []
         for index in indices:
             host = self.hosts[index]
+            host_tenant = tenant
+            if tenant is not None and getattr(host.nic, "tenants",
+                                              None) is None:
+                host_tenant = None
             service, method = deploy_service(
                 host, host.stack, handler,
                 name=name, udp_port=udp_port,
                 cost_instructions=cost_instructions,
                 method_name=method_name,
+                tenant=host_tenant,
             )
             deployments.append(Deployment(host, service, method))
         self.deployments = deployments

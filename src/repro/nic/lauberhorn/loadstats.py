@@ -27,23 +27,32 @@ class ServiceLoad:
     completed: int = 0
     #: current total backlog across this service's end-points + global
     backlog_now: int = 0
-    #: EWMA inter-arrival estimate (ns); 0 until two arrivals seen
+    #: EWMA inter-arrival estimate (ns); meaningless until
+    #: :attr:`ewma_seeded` — a genuine 0.0 means a same-instant burst,
+    #: not "unset" (the two used to share the 0.0 sentinel, silently
+    #: re-seeding the estimate after any zero-ns gap)
     ewma_interarrival_ns: float = 0.0
+    ewma_seeded: bool = False
     last_arrival_ns: float = -1.0
 
     def note_arrival(self, now_ns: float, alpha: float = 0.2) -> None:
         self.arrivals += 1
         if self.last_arrival_ns >= 0:
             gap = now_ns - self.last_arrival_ns
-            if self.ewma_interarrival_ns == 0.0:
+            if not self.ewma_seeded:
                 self.ewma_interarrival_ns = gap
+                self.ewma_seeded = True
             else:
                 self.ewma_interarrival_ns += alpha * (gap - self.ewma_interarrival_ns)
         self.last_arrival_ns = now_ns
 
     def arrival_rate_per_sec(self) -> float:
-        if self.ewma_interarrival_ns <= 0:
+        if not self.ewma_seeded:
             return 0.0
+        if self.ewma_interarrival_ns <= 0:
+            # Seeded by same-instant arrivals: an infinitely hot
+            # service, not an idle one.
+            return float("inf")
         return 1e9 / self.ewma_interarrival_ns
 
 
@@ -70,6 +79,21 @@ class LoadStats:
             key=lambda s: s.arrival_rate_per_sec(),
             reverse=True,
         )[:n]
+
+    def aggregate(self, service_ids) -> dict:
+        """Summed counters over a set of services — the per-tenant load
+        view (a tenant owns a set of service ids)."""
+        totals = {
+            "arrivals": 0, "delivered_fast": 0, "delivered_kernel": 0,
+            "queued": 0, "dropped": 0, "completed": 0, "backlog_now": 0,
+        }
+        for service_id in service_ids:
+            load = self._services.get(service_id)
+            if load is None:
+                continue
+            for key in totals:
+                totals[key] += getattr(load, key)
+        return totals
 
     def most_backlogged(self) -> "ServiceLoad | None":
         candidates = [s for s in self._services.values() if s.backlog_now > 0]

@@ -130,13 +130,105 @@ class LauberhornNic(BaseNic, HomeDevice):
         )
         #: OS hooks called when a request has no runnable target
         self.attention_hooks: list[Callable[[int, int], None]] = []
+        #: optional multi-tenant isolation state (:mod:`repro.tenancy`);
+        #: None means the exact historical single-tenant behaviour
+        self.tenants = None
+        self._tenant_backlog = None
 
     # -- configuration -------------------------------------------------------
 
-    def register_service(self, service: ServiceDef, pid: int) -> None:
-        """Install a service's demux entry (OS does this at bind time)."""
+    def register_service(self, service: ServiceDef, pid: int,
+                         tenant=None) -> None:
+        """Install a service's demux entry (OS does this at bind time).
+
+        ``tenant`` (a :class:`repro.tenancy.TenantSpec`, id, or name)
+        binds the service to a tenant of the attached table — this is
+        where tenant identity enters the NIC, exactly as budgets would
+        be programmed into demux hardware at bind time.
+        """
         self._service_pid[service.service_id] = pid
         self._service_endpoints.setdefault(service.service_id, [])
+        if tenant is not None:
+            if self.tenants is None:
+                raise RuntimeError(
+                    "register_service(tenant=...) requires attach_tenants() "
+                    "first")
+            self.tenants.assign(service.service_id, tenant)
+
+    def attach_tenants(self, table) -> None:
+        """Install a :class:`repro.tenancy.TenantTable`: demux starts
+        charging per-tenant, the global backlog becomes per-tenant
+        queues under deficit-weighted round-robin, and token-bucket
+        rate limits police admission.  Must happen before traffic."""
+        from ...tenancy import DeficitRoundRobin
+
+        if self.global_backlog:
+            raise RuntimeError("attach_tenants() before traffic starts")
+        self.tenants = table
+        self._tenant_backlog = DeficitRoundRobin()
+        for spec in table:
+            self._tenant_backlog.add_tenant(spec.tenant_id, spec.weight)
+
+    # -- tenant accounting (every path below is unreachable until
+    #    attach_tenants is called; the untenanted fast path never pays) --
+
+    def _tenant_of(self, service: ServiceDef):
+        """Spec of the tenant owning ``service``; None on the untenanted
+        path and for the continuation pseudo-service."""
+        if self.tenants is None or service is self._cont_service:
+            return None
+        spec = self.tenants.tenant_for_service(service.service_id)
+        self._tenant_backlog.add_tenant(spec.tenant_id, spec.weight)
+        return spec
+
+    def _tenant_stats(self, service: ServiceDef):
+        spec = self._tenant_of(service)
+        if spec is None:
+            return None
+        return self.tenants.stats[spec.tenant_id]
+
+    def _over_budget(self, spec) -> bool:
+        return (spec.ctrl_budget is not None
+                and self.tenants.stats[spec.tenant_id].held_now
+                >= spec.ctrl_budget)
+
+    def _tenant_dispatchable(self, tenant_id: int) -> bool:
+        return not self._over_budget(self.tenants.get(tenant_id))
+
+    def _charge_tryagain(self, ep: Endpoint) -> None:
+        if ep.service is None:
+            return
+        stats = self._tenant_stats(ep.service)
+        if stats is not None:
+            stats.tryagains += 1
+
+    def _charge_ctrl_load(self, ep: Endpoint) -> None:
+        if ep.service is None:
+            return
+        stats = self._tenant_stats(ep.service)
+        if stats is not None:
+            stats.ctrl_loads += 1
+
+    def _tenant_complete(self, service: ServiceDef) -> None:
+        spec = self._tenant_of(service)
+        if spec is None:
+            return
+        stats = self.tenants.stats[spec.tenant_id]
+        stats.completed += 1
+        stats.held_now = max(0, stats.held_now - 1)
+        if spec.ctrl_budget is not None:
+            self._budget_kick()
+
+    def _budget_kick(self) -> None:
+        """A CONTROL line was just released: a parked fill that was
+        budget-blocked may be serviceable now.  Without the kick it
+        would sit until its Tryagain timeout — a 15 ms tail for no
+        reason.  Scan order (endpoint id) is deterministic."""
+        for ep in self.endpoints:
+            if ep.parked is not None:
+                request = self._next_request_for(ep)
+                if request is not None:
+                    self._consume_parked_and_deliver(ep, request)
 
     def create_endpoint(
         self,
@@ -242,6 +334,8 @@ class LauberhornNic(BaseNic, HomeDevice):
     def _ctrl_fill_fsm(self, ep: Endpoint, core_id: int, parity: int, event: Event):
         """React to a CPU load on CONTROL[parity] of ``ep``."""
         ep.stats.ctrl_loads += 1
+        if self.tenants is not None:
+            self._charge_ctrl_load(ep)
         inflight = ep.inflight
         if inflight is not None and parity != inflight.parity:
             # Completion signal: issue the fetch-exclusive *before*
@@ -253,6 +347,8 @@ class LauberhornNic(BaseNic, HomeDevice):
             ep.inflight = None
             self.telemetry.on_completion(inflight.request.tag, self.sim.now)
             self._begin_response_extraction(ep, inflight)
+            if self.tenants is not None:
+                self._tenant_complete(inflight.request.service)
         yield from self._arm(ep, core_id, parity, event)
         return None
 
@@ -265,6 +361,8 @@ class LauberhornNic(BaseNic, HomeDevice):
             yield self.sim.timeout(self.params.compose_line_ns)
             ep.stats.tryagains += 1
             self.lstats.tryagains += 1
+            if self.tenants is not None:
+                self._charge_tryagain(ep)
             if self.flight is not None:
                 self.flight.note("nic.tryagain", endpoint=ep.id, reason="race")
             event.succeed(
@@ -284,6 +382,8 @@ class LauberhornNic(BaseNic, HomeDevice):
         return None
 
     def _next_request_for(self, ep: Endpoint) -> Optional[PendingRequest]:
+        if self.tenants is not None:
+            return self._next_request_tenanted(ep)
         if ep.backlog:
             request = ep.backlog.pop(0)
             self._note_unqueued(request)
@@ -302,9 +402,46 @@ class LauberhornNic(BaseNic, HomeDevice):
                     return queued
         return None
 
+    def _next_request_tenanted(self, ep: Endpoint) -> Optional[PendingRequest]:
+        """Tenant-aware twin of :meth:`_next_request_for`: the same
+        queue-consultation order, but budget-gated and arbitrated by
+        deficit-weighted round-robin instead of global FIFO."""
+        if ep.backlog:
+            spec = self._tenant_of(ep.service) if ep.service is not None else None
+            if spec is not None and self._over_budget(spec):
+                return None  # park: the tenant holds its full budget
+            request = ep.backlog.pop(0)
+            self._note_unqueued(request)
+            return request
+        if ep.kind is EndpointKind.KERNEL and len(self._tenant_backlog):
+            popped = self._tenant_backlog.pop(self._tenant_dispatchable)
+            if popped is not None:
+                _tid, request = popped
+                self._note_unqueued(request)
+                return request
+            return None
+        if ep.kind is EndpointKind.USER and ep.service is not None \
+                and ep.service is not self._cont_service:
+            spec = self._tenant_of(ep.service)
+            if self._over_budget(spec):
+                return None
+            sid = ep.service.service_id
+            request = self._tenant_backlog.steal(
+                spec.tenant_id,
+                lambda queued: queued.service.service_id == sid,
+            )
+            if request is not None:
+                self._note_unqueued(request)
+                return request
+        return None
+
     def _note_unqueued(self, request: PendingRequest) -> None:
         load = self.load.service(request.service.service_id)
         load.backlog_now = max(0, load.backlog_now - 1)
+        if self.tenants is not None:
+            stats = self._tenant_stats(request.service)
+            if stats is not None:
+                stats.queued_now = max(0, stats.queued_now - 1)
 
     def set_tryagain_timeout_ns(self, value: float) -> None:
         """Runtime actuation hook (:mod:`repro.ctrl`): retune the
@@ -326,6 +463,8 @@ class LauberhornNic(BaseNic, HomeDevice):
         yield self.sim.timeout(self.params.compose_line_ns)
         ep.stats.tryagains += 1
         self.lstats.tryagains += 1
+        if self.tenants is not None:
+            self._charge_tryagain(ep)
         if self.flight is not None:
             self.flight.note("nic.tryagain", endpoint=ep.id, reason="timeout")
         event.succeed(FillResponse(data=wire.tryagain_line(self.line_bytes)))
@@ -341,6 +480,8 @@ class LauberhornNic(BaseNic, HomeDevice):
         ep.generation += 1
         ep.stats.tryagains += 1
         self.lstats.tryagains += 1
+        if self.tenants is not None:
+            self._charge_tryagain(ep)
         if self.flight is not None:
             self.flight.note("nic.tryagain", endpoint=ep.id, reason="preempt")
         event.succeed(FillResponse(data=wire.tryagain_line(self.line_bytes)))
@@ -453,6 +594,16 @@ class LauberhornNic(BaseNic, HomeDevice):
             else:
                 load.delivered_fast += 1
                 self.lstats.delivered_fast += 1
+            if self.tenants is not None:
+                tstats = self._tenant_stats(service)
+                if tstats is not None:
+                    tstats.held_now += 1  # CONTROL line now held by tenant
+                    if use_dma:
+                        tstats.dma_fallbacks += 1
+                    if ep.kind is EndpointKind.KERNEL:
+                        tstats.delivered_kernel += 1
+                    else:
+                        tstats.delivered_fast += 1
         event.succeed(FillResponse(data=control))
         return None
 
@@ -483,6 +634,8 @@ class LauberhornNic(BaseNic, HomeDevice):
         ep.inflight = None
         self.telemetry.on_completion(inflight.request.tag, self.sim.now)
         self._begin_response_extraction(ep, inflight)
+        if self.tenants is not None:
+            self._tenant_complete(inflight.request.service)
         return True
 
     def completion_signal_op(self, ep: Endpoint):
@@ -653,6 +806,21 @@ class LauberhornNic(BaseNic, HomeDevice):
                 self.lstats.dropped_no_service += 1
                 self.stats.rx_dropped += 1
                 continue
+            if self.tenants is not None:
+                # Rate-limit policing at demux time: the tenant is known
+                # (service lookup above) but the expensive pipeline
+                # stages (AEAD, deserialise) have not run yet — an
+                # over-rate frame costs only parse+demux, which is the
+                # whole point of gating admission here.
+                spec = self._tenant_of(service)
+                tstats = self.tenants.stats[spec.tenant_id]
+                tstats.arrivals += 1
+                bucket = self.tenants.bucket_for(spec.tenant_id)
+                if bucket is not None and not bucket.allow(self.sim.now):
+                    tstats.rate_dropped += 1
+                    self.stats.rx_dropped += 1
+                    continue
+                tstats.admitted += 1
             if service.encrypted:
                 # Inline AEAD open in the NIC pipeline (Section 6).
                 from ...net.crypto import nic_crypto_ns
@@ -687,15 +855,26 @@ class LauberhornNic(BaseNic, HomeDevice):
             self._dispatch_request(request)
 
     def _dispatch_request(self, request: PendingRequest) -> None:
-        """Route a decoded request per Section 5.2's policy."""
+        """Route a decoded request per Section 5.2's policy.
+
+        With tenants attached, direct delivery (steps 1 and 3) is
+        budget-gated — a tenant at its CONTROL-line cap can still
+        *queue* (queued work holds no lines) but cannot take another
+        line until a completion frees one — and the global overflow
+        queue (step 4) is the tenant's DWRR queue instead of the
+        shared FIFO.
+        """
         service_id = request.service.service_id
         load = self.load.service(service_id)
+        spec = self._tenant_of(request.service)
+        budget_blocked = spec is not None and self._over_budget(spec)
 
         # 1. Fast path: a user-mode loop is stalled on this service's lines.
-        for ep in self._service_endpoints.get(service_id, ()):
-            if ep.armed:
-                self._consume_parked_and_deliver(ep, request)
-                return
+        if not budget_blocked:
+            for ep in self._service_endpoints.get(service_id, ()):
+                if ep.armed:
+                    self._consume_parked_and_deliver(ep, request)
+                    return
 
         # 2. The process is on-core but busy: queue on its end-point;
         #    its next CONTROL load picks the request up with no kernel
@@ -707,17 +886,32 @@ class LauberhornNic(BaseNic, HomeDevice):
                     load.queued += 1
                     load.backlog_now += 1
                     self.lstats.queued_endpoint += 1
+                    if spec is not None:
+                        self.tenants.stats[spec.tenant_id].queued_now += 1
                     return
             # fall through when backlogs are full
 
         # 3. Kernel dispatch: a parked kernel thread takes it.
-        for ep in self._kernel_endpoints:
-            if ep.armed:
-                self._consume_parked_and_deliver(ep, request)
-                return
+        if not budget_blocked:
+            for ep in self._kernel_endpoints:
+                if ep.armed:
+                    self._consume_parked_and_deliver(ep, request)
+                    return
 
         # 4. Nobody is waiting: queue globally and alert the OS.
-        if len(self.global_backlog) < 4096:
+        if spec is not None:
+            if len(self._tenant_backlog) < 4096:
+                self._tenant_backlog.push(spec.tenant_id, request)
+                load.queued += 1
+                load.backlog_now += 1
+                self.lstats.queued_global += 1
+                self.tenants.stats[spec.tenant_id].queued_now += 1
+            else:
+                load.dropped += 1
+                self.lstats.dropped_backlog_full += 1
+                self.tenants.stats[spec.tenant_id].dropped += 1
+                return
+        elif len(self.global_backlog) < 4096:
             self.global_backlog.append(request)
             load.queued += 1
             load.backlog_now += 1
@@ -774,6 +968,10 @@ class LauberhornNic(BaseNic, HomeDevice):
             "global": len(self.global_backlog),
             "endpoints": sum(len(ep.backlog) for ep in self.endpoints),
         })
+        if self.tenants is not None:
+            # Per-tenant ledger; only present when a table is attached,
+            # so untenanted metric snapshots are unchanged.
+            registry.probe(f"{prefix}.tenants", self.tenants.snapshot)
 
     # -- debug/validation --------------------------------------------------------------------
 
@@ -789,6 +987,9 @@ class LauberhornNic(BaseNic, HomeDevice):
         if self.global_backlog:
             problems.append(f"{len(self.global_backlog)} requests in the "
                             "global backlog")
+        if self._tenant_backlog is not None and len(self._tenant_backlog):
+            problems.append(f"{len(self._tenant_backlog)} requests in "
+                            "tenant DWRR queues")
         for ep in self.endpoints:
             if ep.backlog:
                 problems.append(f"endpoint {ep.id}: {len(ep.backlog)} "

@@ -1,0 +1,37 @@
+"""Multi-tenant isolation for the Lauberhorn NIC.
+
+The paper trusts the NIC as part of the OS; OSMOSIS (PAPERS.md) asks
+what happens when many tenants *share* it — and shows that a shared
+SmartNIC without per-tenant isolation lets one tenant's burst wreck
+every other tenant's tail.  This package is the repo's answer:
+
+* :class:`TenantSpec` / :class:`TenantTable` — tenant identity
+  (weight, CONTROL-line budget, rate limit) attached to services at
+  registration time;
+* :class:`TokenBucket` — the per-tenant admission rate limiter the
+  NIC consults at demux time, *before* paying for crypto or
+  deserialisation;
+* :class:`DeficitRoundRobin` — weighted-fair arbitration of queued
+  work, replacing the global backlog's FIFO when tenants are
+  configured;
+* :class:`TenantStats` — the per-tenant charge ledger (CONTROL-line
+  loads, Tryagain bounces, DMA fallbacks, rate-limit drops) surfaced
+  through :class:`repro.obs.metrics.MetricsRegistry`.
+
+Nothing here is imported, installed, or consulted unless a harness
+attaches a :class:`TenantTable` to a :class:`LauberhornNic` — the
+untenanted path is byte-identical to every build that predates this
+package (enforced by the golden corpus and the E19–E23 digest pins).
+"""
+
+from .bucket import TokenBucket
+from .dwrr import DeficitRoundRobin
+from .spec import TenantSpec, TenantStats, TenantTable
+
+__all__ = [
+    "TenantSpec",
+    "TenantStats",
+    "TenantTable",
+    "TokenBucket",
+    "DeficitRoundRobin",
+]

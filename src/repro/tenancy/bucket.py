@@ -1,0 +1,69 @@
+"""Per-tenant token-bucket rate limiter.
+
+The NIC consults the bucket at demux time — after the service (and
+hence tenant) is known, but *before* the expensive pipeline stages
+(inline AEAD, deserialisation).  Admission is **policing**: a frame
+that finds the bucket empty is dropped and charged to the tenant, the
+way hardware NIC rate limiters behave.  Deferring instead would put
+the head-of-line blocking back into the shared RX pipeline, which is
+exactly the interference the limiter exists to prevent.
+
+Time is simulated time in ns; refill is lazy and exact, so behaviour
+is a pure function of the arrival timestamps — deterministic across
+runs and process placements.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate_per_sec`` tokens/s up to ``burst``."""
+
+    __slots__ = ("rate_per_sec", "burst", "tokens", "last_ns")
+
+    def __init__(self, rate_per_sec: float, burst: float = 8.0):
+        if rate_per_sec <= 0:
+            raise ValueError(f"rate must be positive, got {rate_per_sec}")
+        if burst < 1.0:
+            raise ValueError(f"burst must allow at least one token, got {burst}")
+        self.rate_per_sec = float(rate_per_sec)
+        self.burst = float(burst)
+        self.tokens = float(burst)  # start full: an idle tenant may burst
+        self.last_ns = 0.0
+
+    def _refill(self, now_ns: float) -> None:
+        if now_ns > self.last_ns:
+            gained = (now_ns - self.last_ns) * 1e-9 * self.rate_per_sec
+            self.tokens = min(self.burst, self.tokens + gained)
+            self.last_ns = now_ns
+
+    def allow(self, now_ns: float) -> bool:
+        """Consume one token if available; False means police (drop)."""
+        self._refill(now_ns)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def next_ready_ns(self, now_ns: float) -> float:
+        """Earliest instant a token will be available (>= now_ns)."""
+        self._refill(now_ns)
+        if self.tokens >= 1.0:
+            return now_ns
+        deficit = 1.0 - self.tokens
+        return now_ns + deficit / self.rate_per_sec * 1e9
+
+    def set_rate(self, rate_per_sec: float) -> None:
+        """Runtime actuation hook (:mod:`repro.ctrl`): retune the rate.
+
+        Tokens already accrued are kept (refilled at the *old* rate up
+        to the change instant via the caller's next ``allow``)."""
+        if rate_per_sec <= 0:
+            raise ValueError(f"rate must be positive, got {rate_per_sec}")
+        self.rate_per_sec = float(rate_per_sec)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<TokenBucket {self.rate_per_sec:.0f}/s "
+                f"burst={self.burst:.0f} tokens={self.tokens:.2f}>")

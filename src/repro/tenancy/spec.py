@@ -1,0 +1,201 @@
+"""Tenant identity, budgets, and the per-tenant charge ledger.
+
+A :class:`TenantSpec` is the NIC's unit of isolation policy:
+
+``weight``
+    DWRR share of demux/arbitration capacity under contention.
+``ctrl_budget``
+    Cap on *concurrently held* CONTROL cache lines — i.e. deliveries
+    the NIC has handed to this tenant's processes that have not yet
+    been completed (or bounced).  ``None`` means unlimited, which is
+    the historical behaviour.
+``rate_limit_rps``
+    Token-bucket admission rate; frames beyond it are policed (dropped
+    at demux, before crypto/deserialise).  ``None`` disables the gate.
+
+The :class:`TenantTable` maps services to tenants and owns the stats
+ledger and rate-limit buckets.  All fields of :class:`TenantStats`
+are numeric so the table can be surfaced verbatim through
+:class:`repro.obs.metrics.MetricsRegistry` probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Iterator, Optional, Union
+
+from .bucket import TokenBucket
+
+__all__ = ["TenantSpec", "TenantStats", "TenantTable"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Immutable tenant policy record."""
+
+    tenant_id: int
+    name: str
+    weight: float = 1.0
+    ctrl_budget: Optional[int] = None
+    rate_limit_rps: Optional[float] = None
+    rate_burst: float = 8.0
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValueError(f"tenant {self.name!r}: weight must be > 0, "
+                             f"got {self.weight}")
+        if self.ctrl_budget is not None and self.ctrl_budget < 1:
+            raise ValueError(f"tenant {self.name!r}: ctrl_budget must be "
+                             f">= 1 (or None), got {self.ctrl_budget}")
+        if self.rate_limit_rps is not None and self.rate_limit_rps <= 0:
+            raise ValueError(f"tenant {self.name!r}: rate_limit_rps must be "
+                             f"> 0 (or None), got {self.rate_limit_rps}")
+
+
+@dataclass
+class TenantStats:
+    """Charge ledger for one tenant (all counters, NIC-maintained)."""
+
+    arrivals: int = 0        # request frames demuxed to this tenant
+    admitted: int = 0        # passed the rate gate (== arrivals when no gate)
+    rate_dropped: int = 0    # policed by the token bucket
+    dropped: int = 0         # backlog overflow after admission
+    delivered_fast: int = 0  # handed to an armed user end-point
+    delivered_kernel: int = 0
+    completed: int = 0
+    ctrl_loads: int = 0      # CONTROL cache-line loads charged
+    tryagains: int = 0       # Tryagain bounces charged
+    dma_fallbacks: int = 0   # >4KiB payloads spilled to DMA
+    queued_now: int = 0      # gauge: requests parked in DWRR queues
+    held_now: int = 0        # gauge: CONTROL lines currently held
+
+
+_STAT_FIELDS = tuple(f.name for f in fields(TenantStats))
+
+
+class TenantTable:
+    """Service → tenant mapping plus per-tenant ledgers and buckets.
+
+    Attach to a NIC with ``nic.attach_tenants(table)`` *before* traffic
+    starts; services are bound with :meth:`assign` (usually via the
+    ``tenant=`` argument of ``register_service`` /
+    ``testbed.deploy_service``).  Services left unassigned fall into an
+    auto-created ``"_default"`` tenant (weight 1, no budget, no rate
+    limit) so partially-tenanted rigs stay well-defined.
+    """
+
+    DEFAULT_NAME = "_default"
+
+    def __init__(self):
+        self._tenants: Dict[int, TenantSpec] = {}
+        self._by_name: Dict[str, TenantSpec] = {}
+        self.stats: Dict[int, TenantStats] = {}
+        self.buckets: Dict[int, TokenBucket] = {}
+        self._service_tenant: Dict[int, int] = {}
+        self._next_id = 1
+
+    # -- definition ---------------------------------------------------
+
+    def create(self, name: str, weight: float = 1.0,
+               ctrl_budget: Optional[int] = None,
+               rate_limit_rps: Optional[float] = None,
+               rate_burst: float = 8.0) -> TenantSpec:
+        if name in self._by_name:
+            raise ValueError(f"tenant {name!r} already exists")
+        spec = TenantSpec(self._next_id, name, weight, ctrl_budget,
+                          rate_limit_rps, rate_burst)
+        self._next_id += 1
+        self._install(spec)
+        return spec
+
+    def _install(self, spec: TenantSpec) -> None:
+        self._tenants[spec.tenant_id] = spec
+        self._by_name[spec.name] = spec
+        self.stats[spec.tenant_id] = TenantStats()
+        if spec.rate_limit_rps is not None:
+            self.buckets[spec.tenant_id] = TokenBucket(
+                spec.rate_limit_rps, spec.rate_burst)
+
+    def assign(self, service_id: int,
+               tenant: Union[TenantSpec, int, str]) -> None:
+        spec = self.get(tenant)
+        self._service_tenant[service_id] = spec.tenant_id
+
+    # -- lookup -------------------------------------------------------
+
+    def get(self, tenant: Union[TenantSpec, int, str]) -> TenantSpec:
+        if isinstance(tenant, TenantSpec):
+            if self._tenants.get(tenant.tenant_id) is not tenant:
+                raise KeyError(f"tenant {tenant.name!r} is not from this table")
+            return tenant
+        if isinstance(tenant, str):
+            try:
+                return self._by_name[tenant]
+            except KeyError:
+                raise KeyError(f"no tenant named {tenant!r}") from None
+        try:
+            return self._tenants[tenant]
+        except KeyError:
+            raise KeyError(f"no tenant id {tenant}") from None
+
+    def tenant_for_service(self, service_id: int) -> TenantSpec:
+        tid = self._service_tenant.get(service_id)
+        if tid is None:
+            return self._default()
+        return self._tenants[tid]
+
+    def _default(self) -> TenantSpec:
+        spec = self._by_name.get(self.DEFAULT_NAME)
+        if spec is None:
+            spec = TenantSpec(0, self.DEFAULT_NAME)
+            self._install(spec)
+        return spec
+
+    def services_of(self, tenant: Union[TenantSpec, int, str]) -> list:
+        """Service ids bound to a tenant (for telemetry/load queries)."""
+        tid = self.get(tenant).tenant_id
+        return [sid for sid, owner in self._service_tenant.items()
+                if owner == tid]
+
+    def stats_for(self, tenant: Union[TenantSpec, int, str]) -> TenantStats:
+        return self.stats[self.get(tenant).tenant_id]
+
+    def bucket_for(self, tenant_id: int) -> Optional[TokenBucket]:
+        return self.buckets.get(tenant_id)
+
+    # -- actuation (repro.ctrl) ---------------------------------------
+
+    def set_rate_limit(self, tenant: Union[TenantSpec, int, str],
+                       rate_per_sec: Optional[float],
+                       burst: Optional[float] = None) -> None:
+        """Install, retune, or (with ``None``) remove a tenant's rate gate."""
+        spec = self.get(tenant)
+        if rate_per_sec is None:
+            self.buckets.pop(spec.tenant_id, None)
+            return
+        bucket = self.buckets.get(spec.tenant_id)
+        if bucket is None:
+            self.buckets[spec.tenant_id] = TokenBucket(
+                rate_per_sec, burst if burst is not None else spec.rate_burst)
+        else:
+            bucket.set_rate(rate_per_sec)
+            if burst is not None:
+                bucket.burst = float(burst)
+                bucket.tokens = min(bucket.tokens, bucket.burst)
+
+    # -- introspection ------------------------------------------------
+
+    def __iter__(self) -> Iterator[TenantSpec]:
+        return iter(self._tenants.values())
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat ``{"<tenant>.<counter>": value}`` view for metrics probes."""
+        out: Dict[str, float] = {}
+        for spec in self._tenants.values():
+            stats = self.stats[spec.tenant_id]
+            for name in _STAT_FIELDS:
+                out[f"{spec.name}.{name}"] = getattr(stats, name)
+        return out

@@ -42,17 +42,32 @@ class ServiceMix:
         self.weights = list(weights) if weights else [1.0] * len(targets)
         if len(self.weights) != len(self.targets):
             raise ValueError("weights/targets length mismatch")
+        self._validate_weights(self.weights)
+
+    @staticmethod
+    def _validate_weights(weights: Sequence[float]) -> None:
+        """Reject negative weights up front with a readable message —
+        ``random.choices`` would otherwise fail much later, mid-run,
+        with an opaque error."""
+        for index, weight in enumerate(weights):
+            if weight < 0:
+                raise ValueError(
+                    f"target weight {index} is negative ({weight}); "
+                    "mix weights must be >= 0"
+                )
 
     def set_hot_set(self, hot_indices: Sequence[int], hot_weight: float = 1.0,
                     cold_weight: float = 0.0) -> None:
         """Concentrate traffic on a subset (dynamic-workload rotation)."""
         hot = set(hot_indices)
-        self.weights = [
+        weights = [
             hot_weight if index in hot else cold_weight
             for index in range(len(self.targets))
         ]
-        if not any(self.weights):
+        self._validate_weights(weights)
+        if not any(weights):
             raise ValueError("hot set selects no traffic")
+        self.weights = weights
 
     def choose(self, rng: random.Random) -> Target:
         return rng.choices(self.targets, weights=self.weights, k=1)[0]
@@ -76,6 +91,10 @@ class _GeneratorBase:
         self.recorder = recorder or LatencyRecorder()
         self.sent = 0
         self.completed = 0
+        #: arrivals the admission gate held back (open-loop only; always
+        #: present so reports can read it from a generator that never ran
+        #: or whose run never consulted an admission gate)
+        self.deferrals = 0
 
     def _fire(self, target: Target) -> Event:
         self.sent += 1

@@ -1,8 +1,11 @@
-"""Golden regression corpus: E1-E21 at the default seed, frozen.
+"""Golden regression corpus: E1-E23 at the default seed, frozen.
 
 Every deterministic experiment's structured results are pinned:
-E1-E18 as full JSON under ``tests/golden/<name>.json``, E19-E21 (whose
+E1-E18 as full JSON under ``tests/golden/<name>.json``, E19-E23 (whose
 payloads are large) as SHA-256 digests in ``tests/golden/hashes.json``.
+With E24 in the tree, these pins are also the tenancy layer's
+no-regression contract: a build with :mod:`repro.tenancy` present but
+unconfigured must reproduce every historical experiment byte for byte.
 Any code change that shifts any number in any table fails here with a
 readable per-path diff — which is the point: behaviour changes must be
 *intentional*, reviewed via ``make regen-golden`` and a git diff.

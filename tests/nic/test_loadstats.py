@@ -1,0 +1,39 @@
+"""ServiceLoad EWMA seeding regression + the per-tenant aggregate view."""
+
+import pytest
+
+from repro.nic.lauberhorn.loadstats import LoadStats, ServiceLoad
+
+
+def test_zero_gap_seed_is_not_mistaken_for_unset():
+    """Regression: a same-instant burst seeds the EWMA at 0.0 ns, which
+    used to be indistinguishable from "never seeded" — the next nonzero
+    gap silently re-seeded the estimate instead of decaying into it."""
+    load = ServiceLoad(1)
+    load.note_arrival(0.0)
+    load.note_arrival(0.0)          # zero gap: seeded at 0.0
+    assert load.ewma_seeded
+    assert load.arrival_rate_per_sec() == float("inf")
+    load.note_arrival(100.0)        # decays: 0 + 0.2 * (100 - 0)
+    assert load.ewma_interarrival_ns == pytest.approx(20.0)
+    assert load.arrival_rate_per_sec() == pytest.approx(1e9 / 20.0)
+
+
+def test_unseeded_load_reports_zero_rate():
+    load = ServiceLoad(1)
+    assert load.arrival_rate_per_sec() == 0.0
+    load.note_arrival(50.0)         # first arrival: no gap yet
+    assert not load.ewma_seeded
+    assert load.arrival_rate_per_sec() == 0.0
+
+
+def test_aggregate_sums_over_a_tenants_services():
+    stats = LoadStats()
+    a, b = stats.service(1), stats.service(2)
+    a.arrivals, a.completed, a.backlog_now = 5, 4, 1
+    b.arrivals, b.dropped = 3, 2
+    totals = stats.aggregate([1, 2, 99])   # unknown ids are ignored
+    assert totals["arrivals"] == 8
+    assert totals["completed"] == 4
+    assert totals["dropped"] == 2
+    assert totals["backlog_now"] == 1

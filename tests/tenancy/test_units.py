@@ -1,0 +1,191 @@
+"""Unit tests for the tenancy primitives: specs, table, bucket, DWRR."""
+
+import pytest
+
+from repro.tenancy import DeficitRoundRobin, TenantSpec, TenantTable, TokenBucket
+
+
+# -- TenantSpec / TenantTable ---------------------------------------------
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError, match="weight"):
+        TenantSpec(1, "t", weight=0.0)
+    with pytest.raises(ValueError, match="weight"):
+        TenantSpec(1, "t", weight=-1.0)
+    with pytest.raises(ValueError, match="ctrl_budget"):
+        TenantSpec(1, "t", ctrl_budget=0)
+    with pytest.raises(ValueError, match="rate_limit_rps"):
+        TenantSpec(1, "t", rate_limit_rps=0.0)
+
+
+def test_table_create_assign_lookup():
+    table = TenantTable()
+    a = table.create("a", weight=2.0)
+    b = table.create("b", ctrl_budget=3, rate_limit_rps=1000.0)
+    assert a.tenant_id != b.tenant_id
+    with pytest.raises(ValueError, match="already exists"):
+        table.create("a")
+    table.assign(7, "a")
+    table.assign(8, b)
+    assert table.tenant_for_service(7) is a
+    assert table.tenant_for_service(8) is b
+    assert sorted(table.services_of("a")) == [7]
+    assert table.get(a.tenant_id) is a
+    with pytest.raises(KeyError, match="no tenant named"):
+        table.get("nope")
+    # A budgetless tenant has no bucket; a rate-limited one does.
+    assert table.bucket_for(a.tenant_id) is None
+    assert table.bucket_for(b.tenant_id) is not None
+
+
+def test_unassigned_services_fall_into_default_tenant():
+    table = TenantTable()
+    table.create("a")
+    spec = table.tenant_for_service(42)
+    assert spec.name == TenantTable.DEFAULT_NAME
+    assert spec.weight == 1.0 and spec.ctrl_budget is None
+    # The default tenant shows up in iteration/snapshot once created.
+    assert any(s.name == TenantTable.DEFAULT_NAME for s in table)
+
+
+def test_snapshot_is_flat_and_numeric():
+    table = TenantTable()
+    table.create("a")
+    table.stats_for("a").arrivals = 3
+    snap = table.snapshot()
+    assert snap["a.arrivals"] == 3
+    assert all(isinstance(v, (int, float)) for v in snap.values())
+
+
+def test_set_rate_limit_actuation():
+    table = TenantTable()
+    table.create("a")
+    tid = table.get("a").tenant_id
+    table.set_rate_limit("a", 100.0, burst=2.0)
+    bucket = table.bucket_for(tid)
+    assert bucket is not None and bucket.rate_per_sec == 100.0
+    table.set_rate_limit("a", 500.0)
+    assert table.bucket_for(tid) is bucket  # retuned in place
+    assert bucket.rate_per_sec == 500.0
+    table.set_rate_limit("a", None)
+    assert table.bucket_for(tid) is None
+
+
+# -- TokenBucket ----------------------------------------------------------
+
+
+def test_bucket_polices_beyond_burst_and_refills():
+    bucket = TokenBucket(1e6, burst=2.0)  # 1 token/us
+    assert bucket.allow(0.0)
+    assert bucket.allow(0.0)      # burst of 2 spent
+    assert not bucket.allow(0.0)  # policed
+    assert bucket.next_ready_ns(0.0) == pytest.approx(1000.0)
+    assert not bucket.allow(999.0)
+    assert bucket.allow(1000.0)   # exactly one token accrued
+
+
+def test_bucket_is_deterministic_in_timestamps():
+    a, b = TokenBucket(5e5, burst=4.0), TokenBucket(5e5, burst=4.0)
+    stamps = [0.0, 100.0, 2000.0, 2000.0, 2001.0, 9000.0, 9001.0]
+    assert [a.allow(t) for t in stamps] == [b.allow(t) for t in stamps]
+    assert a.tokens == b.tokens
+
+
+def test_bucket_validation():
+    with pytest.raises(ValueError):
+        TokenBucket(0.0)
+    with pytest.raises(ValueError):
+        TokenBucket(100.0, burst=0.5)
+    with pytest.raises(ValueError):
+        TokenBucket(100.0).set_rate(-1.0)
+
+
+# -- DeficitRoundRobin ----------------------------------------------------
+
+
+def test_dwrr_equal_weights_alternate():
+    dwrr = DeficitRoundRobin()
+    dwrr.add_tenant(1, 1.0)
+    dwrr.add_tenant(2, 1.0)
+    for k in range(4):
+        dwrr.push(1, f"a{k}")
+        dwrr.push(2, f"b{k}")
+    order = [dwrr.pop()[0] for _ in range(8)]
+    assert order == [1, 2, 1, 2, 1, 2, 1, 2]
+    assert len(dwrr) == 0 and dwrr.pop() is None
+
+
+def test_dwrr_shares_converge_to_weights():
+    """Satellite (b): under sustained backlog, service shares track the
+    configured weights — here 3:1 within one item over any window."""
+    dwrr = DeficitRoundRobin()
+    dwrr.add_tenant(1, 3.0)
+    dwrr.add_tenant(2, 1.0)
+    for k in range(300):
+        dwrr.push(1, k)
+        dwrr.push(2, k)
+    for _ in range(200):
+        assert dwrr.pop() is not None
+    assert dwrr.served[1] == 150
+    assert dwrr.served[2] == 50
+    # Fractional weights work too (deficit accumulates across rounds).
+    frac = DeficitRoundRobin()
+    frac.add_tenant(1, 1.0)
+    frac.add_tenant(2, 0.25)
+    for k in range(200):
+        frac.push(1, k)
+        frac.push(2, k)
+    for _ in range(100):
+        assert frac.pop() is not None
+    assert frac.served[1] == 80
+    assert frac.served[2] == 20
+
+
+def test_dwrr_eligibility_veto_skips_tenants():
+    dwrr = DeficitRoundRobin()
+    dwrr.add_tenant(1, 1.0)
+    dwrr.add_tenant(2, 1.0)
+    dwrr.push(1, "a")
+    dwrr.push(2, "b")
+    got = dwrr.pop(eligible=lambda tid: tid == 2)
+    assert got == (2, "b")
+    assert dwrr.pop(eligible=lambda tid: tid == 2) is None
+    assert dwrr.queued(1) == 1  # vetoed work stays queued
+
+
+def test_dwrr_steal_removes_without_charging():
+    dwrr = DeficitRoundRobin()
+    dwrr.add_tenant(1, 1.0)
+    dwrr.push(1, ("x", 1))
+    dwrr.push(1, ("y", 2))
+    item = dwrr.steal(1, lambda it: it[0] == "y")
+    assert item == ("y", 2)
+    assert dwrr.served[1] == 0
+    assert dwrr.queued(1) == 1
+    assert dwrr.steal(1, lambda it: it[0] == "z") is None
+
+
+def test_dwrr_fairness_span_flags_biased_service():
+    """Satellite (c), arbiter half: a biased arbiter (force_serve) must
+    trip the weighted-fairness evidence; a fair drain must not."""
+    fair = DeficitRoundRobin()
+    fair.add_tenant(1, 1.0)
+    fair.add_tenant(2, 1.0)
+    for k in range(20):
+        fair.push(1, k)
+        fair.push(2, k)
+    while fair.pop() is not None:
+        pass
+    assert fair.check_fairness() == []
+
+    biased = DeficitRoundRobin()
+    biased.add_tenant(1, 1.0)
+    biased.add_tenant(2, 1.0)
+    for k in range(20):
+        biased.push(1, k)
+        biased.push(2, k)
+    for _ in range(20):
+        biased.force_serve(1)  # tenant 2 starves inside the span
+    problems = biased.check_fairness()
+    assert problems and "diverged" in problems[0]

@@ -1,0 +1,39 @@
+"""Regression pins for generator/mix bugfixes (PR 9 satellite batch)."""
+
+import random
+
+import pytest
+
+from repro.experiments import build_lauberhorn_testbed
+from repro.workloads import ClosedLoopGenerator, OpenLoopGenerator, ServiceMix
+
+
+class _FakeTarget:
+    pass
+
+
+def _gen(cls):
+    bed = build_lauberhorn_testbed()
+    mix = ServiceMix([_FakeTarget()])
+    return cls(bed.clients[0], mix, bed.server_mac, bed.server_ip,
+               random.Random(0))
+
+
+def test_deferrals_readable_before_any_run():
+    """``deferrals`` is initialised in ``__init__``: a report reading it
+    off a generator that never ran (or a closed-loop one, which never
+    consults an admission gate) must see 0, not AttributeError."""
+    for cls in (OpenLoopGenerator, ClosedLoopGenerator):
+        assert _gen(cls).deferrals == 0
+
+
+def test_service_mix_rejects_negative_weights():
+    targets = [_FakeTarget(), _FakeTarget()]
+    with pytest.raises(ValueError, match="negative"):
+        ServiceMix(targets, weights=[1.0, -0.5])
+    mix = ServiceMix(targets)
+    with pytest.raises(ValueError, match="negative"):
+        mix.set_hot_set([0], hot_weight=1.0, cold_weight=-1.0)
+    # Valid weights still work, including all-zero cold traffic.
+    mix.set_hot_set([1], hot_weight=2.0, cold_weight=0.0)
+    assert mix.weights == [0.0, 2.0]

@@ -3,7 +3,7 @@
 
 Runs every deterministic experiment at the default root seed and pins
 its structured results: E1-E18 as full JSON files
-(``tests/golden/<name>.json``), E19-E21 as SHA-256 digests
+(``tests/golden/<name>.json``), E19-E23 as SHA-256 digests
 (``tests/golden/hashes.json``, volatile wall-clock fields stripped —
 see :mod:`repro.exp.golden`).  The tier-1 test
 ``tests/golden/test_golden.py`` re-runs the experiments and diffs
@@ -15,7 +15,7 @@ Usage::
 
     python tools/regen_golden.py            # all of e1..e18
     python tools/regen_golden.py e5 e11     # a subset
-    python tools/regen_golden.py --hashes   # re-pin e19..e21 digests
+    python tools/regen_golden.py --hashes   # re-pin e19..e23 digests
 """
 
 from __future__ import annotations
