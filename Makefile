@@ -32,10 +32,15 @@
 #                      skew, NIC placement -> results/e23_fleet.json
 #   run-e24            multi-tenant isolation grid: budgets, DWRR,
 #                      noisy neighbours -> results/e24_tenancy.json
+#   run-e25            tenant SLO grid: burn-rate alerts, budget
+#                      ledgers, flame attribution -> results/e25_slo.json
 #   trace-export       Perfetto/Chrome-trace artifact for all four
 #                      stacks -> results/e20_trace.json (schema-checked)
-#   dashboard          self-contained HTML from the E21 artifact ->
-#                      results/e21_dashboard.html (schema-checked)
+#   dashboard          self-contained HTML from the E21 artifact (plus
+#                      the E25 SLO/flamegraph pane when its artifact
+#                      exists) -> results/e21_dashboard.html
+#   flamegraph         collapsed-stack + speedscope exports from the
+#                      E25 artifact (see tools/flamegraph.py --help)
 PYTHON ?= python
 export PYTHONPATH := src
 REPRO_JOBS ?= 4
@@ -45,7 +50,7 @@ COVER_MIN ?= 92
 .PHONY: test test-fast test-props test-faults regen-golden coverage \
 	bench-engine bench-engine-quick bench-frames bench-guard bench-runall \
 	run-all run-all-par run-all-faults run-e20 run-e21 run-e22 \
-	run-e23 run-e24 trace-export dashboard
+	run-e23 run-e24 run-e25 trace-export dashboard flamegraph
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -114,9 +119,22 @@ run-e23:
 run-e24:
 	$(PYTHON) -m repro.experiments.run_all e24
 
+# Tenant SLOs: burn-rate alerts, budgets, flames -> results/e25_slo.json.
+run-e25:
+	$(PYTHON) -m repro.experiments.run_all e25
+
 trace-export:
 	$(PYTHON) tools/trace_export.py --all --out results/e20_trace.json --validate
 
-# Needs results/e21_timeline.json (make run-e21 writes it).
+# Needs results/e21_timeline.json (make run-e21 writes it); renders the
+# E25 SLO pane too when results/e25_slo.json exists (make run-e25).
 dashboard:
 	$(PYTHON) tools/dashboard.py --validate --out results/e21_dashboard.html
+
+# Needs results/e25_slo.json (make run-e25 writes it).
+flamegraph:
+	$(PYTHON) tools/flamegraph.py --list
+	$(PYTHON) tools/flamegraph.py --cell 2t-tight-storm \
+		--out results/e25_storm.collapsed.txt
+	$(PYTHON) tools/flamegraph.py --cell 2t-tight-storm --format speedscope \
+		--out results/e25_storm.speedscope.json

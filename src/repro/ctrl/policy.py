@@ -24,7 +24,9 @@ against a stable framework, and this registry is that seam):
 * ``backoff`` — AIMD admission control driven by Tryagain/retry
   storms (OSMOSIS-style reactive fairness at the shared NIC);
 * ``tuner``   — interrupt-moderation / polling-interval tuning from
-  observed RX rate and ring occupancy.
+  observed RX rate and ring occupancy;
+* ``slo_guard`` — admission tightening driven by per-tenant SLO
+  fast-window burn rates (the :mod:`repro.obs.slo` probe rows).
 """
 
 from __future__ import annotations
@@ -266,10 +268,50 @@ class TunerPolicy(Policy):
             acts.set_poll_quantum(self.param("quantum_idle", 1_000_000.0))
 
 
+class SloGuardPolicy(Policy):
+    """Tighten admission while any tenant's fast burn rate runs hot.
+
+    Reads the ``slo.*.burn_fast`` probe rows an armed
+    :class:`~repro.obs.slo.SLOTracker` mirrors into every sampler
+    window.  When the hottest fast-window burn rate crosses ``burn``
+    (default 2.0 — twice the sustainable budget spend), the admission
+    hold-off doubles (floored at ``hold_step``, capped at
+    ``hold_max``); when every objective cools below the threshold the
+    hold decays additively — the same AIMD shape as ``backoff``, but
+    keyed on the *objective* (error-budget spend) instead of the
+    *mechanism* (Tryagain storms), so it reacts to whatever actually
+    hurts the tenant: queueing, policing, or interference.
+
+    Without an armed tracker there are no ``burn_fast`` rows, the
+    hottest burn reads 0.0, and the policy never actuates.
+    """
+
+    def __init__(self, spec: PolicySpec):
+        super().__init__(spec)
+        self.hold_ns = 0.0
+
+    def decide(self, view: SignalView, acts) -> None:
+        burn_threshold = self.param("burn", 2.0)
+        step = self.param("hold_step", 20_000.0)
+        cap = self.param("hold_max", 200_000.0)
+        hottest = 0.0
+        if view.windows:
+            for key, value in view.windows[-1].values.items():
+                if key.endswith(".burn_fast") and value > hottest:
+                    hottest = value
+        if hottest >= burn_threshold:
+            self.hold_ns = min(max(self.hold_ns * 2.0, step), cap)
+            acts.set_admission_hold(self.hold_ns)
+        elif self.hold_ns > 0.0:
+            self.hold_ns = max(0.0, self.hold_ns - step)
+            acts.set_admission_hold(self.hold_ns)
+
+
 #: name -> factory; the seam new policies plug into
 POLICIES: dict[str, Callable[[PolicySpec], Optional[Policy]]] = {
     "none": lambda spec: None,
     "static": StaticPolicy,
     "backoff": BackoffPolicy,
     "tuner": TunerPolicy,
+    "slo_guard": SloGuardPolicy,
 }

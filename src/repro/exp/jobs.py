@@ -29,6 +29,7 @@ from ..experiments import e21_timeline as _timeline
 from ..experiments import e22_control as _control
 from ..experiments import e23_fleet as _fleet
 from ..experiments import e24_tenancy as _tenancy
+from ..experiments import e25_slo as _slo
 from ..experiments import fault_sweep as _fault_sweep
 from ..experiments import four_stacks as _four_stacks
 from ..experiments import load_sweep as _load_sweep
@@ -357,6 +358,29 @@ def _assemble_tenancy(values: list[Any]) -> Any:
     return jsonable(cells)
 
 
+def _slo_jobs(root_seed: int) -> list[JobSpec]:
+    fns = {"single": "measure_single_cell", "fleet": "measure_fleet_cell"}
+    return [
+        _seeded_spec(
+            f"e25/{section}@{label}", "e25",
+            f"{_EXP}.e25_slo:{fns[section]}",
+            _point_seed(root_seed, "e25", f"{section}@{label}"),
+            label=label,
+        )
+        for section in _slo.SECTIONS
+        for label in _slo.cell_labels(section)
+    ]
+
+
+def _assemble_slo(values: list[Any]) -> Any:
+    cells = [_slo.SloCell(**v) for v in values]
+    _slo.render_slo(cells)
+    payload = _slo.write_slo_artifact(cells)
+    _slo.validate_slo_payload(payload)
+    print(f"[wrote {_slo.SLO_ARTIFACT}: {len(payload['cells'])} cells]")
+    return jsonable(cells)
+
+
 def _points(name: str, title: str, build_jobs, assemble) -> ExperimentSpec:
     return ExperimentSpec(name=name, title=title, build_jobs=build_jobs,
                           assemble=assemble)
@@ -419,6 +443,9 @@ EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
         _points("e24", "Multi-tenant isolation — budgets, weighted-fair "
                        "demux & noisy neighbours",
                 _tenancy_jobs, _assemble_tenancy),
+        _points("e25", "Tenant SLOs — burn-rate alerts, budget ledgers & "
+                       "flame attribution",
+                _slo_jobs, _assemble_slo),
     ]
 }
 

@@ -44,6 +44,7 @@ from .e21_timeline import run_timeline
 from .e22_control import run_control
 from .e23_fleet import run_fleet
 from .e24_tenancy import run_tenancy
+from .e25_slo import run_slo
 from .fault_sweep import run_fault_sweep
 from .fig1_steps import run_fig1_steps
 from .fig2_roundtrip import run_fig2
@@ -93,6 +94,7 @@ _SERIAL = {
     "e22": lambda: run_control(),
     "e23": lambda: run_fleet(),
     "e24": lambda: run_tenancy(),
+    "e25": lambda: run_slo(),
 }
 
 EXPERIMENTS = {

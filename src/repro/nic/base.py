@@ -47,6 +47,10 @@ class BaseNic:
         #: optional span recorder (repro.obs.spans.SpanRecorder); None
         #: means every hook is a single attribute test
         self.obs = None
+        #: host label stamped onto root spans when the recorder's
+        #: ``tag_origin`` is on; arm_testbed overwrites it per fleet
+        #: host index (host-side bookkeeping only)
+        self.obs_host = "host0"
         #: optional flight recorder (repro.obs.flight.FlightRecorder),
         #: same None-guarded contract as ``obs``
         self.flight = None

@@ -806,6 +806,14 @@ class LauberhornNic(BaseNic, HomeDevice):
                 self.lstats.dropped_no_service += 1
                 self.stats.rx_dropped += 1
                 continue
+            # Demux is where the serving identity becomes known:
+            # annotate the *root* span (its id is what rides in
+            # Frame.meta["obs"]) so tail/SLO/flame forensics can group
+            # by (host, tenant, service).  Gated on tag_origin so
+            # armed-but-untagged runs keep their historical payloads.
+            tag = ctx is not None and obs.tag_origin
+            if tag:
+                obs.annotate(ctx, host=self.obs_host, service=service.name)
             if self.tenants is not None:
                 # Rate-limit policing at demux time: the tenant is known
                 # (service lookup above) but the expensive pipeline
@@ -813,6 +821,8 @@ class LauberhornNic(BaseNic, HomeDevice):
                 # over-rate frame costs only parse+demux, which is the
                 # whole point of gating admission here.
                 spec = self._tenant_of(service)
+                if tag:
+                    obs.annotate(ctx, tenant=spec.name)
                 tstats = self.tenants.stats[spec.tenant_id]
                 tstats.arrivals += 1
                 bucket = self.tenants.bucket_for(spec.tenant_id)
@@ -970,8 +980,13 @@ class LauberhornNic(BaseNic, HomeDevice):
         })
         if self.tenants is not None:
             # Per-tenant ledger; only present when a table is attached,
-            # so untenanted metric snapshots are unchanged.
+            # so untenanted metric snapshots are unchanged.  Two views
+            # of the same counters: the nested dict for snapshot
+            # consumers, and flat `{prefix}.tenant.<name>.<counter>`
+            # rows so TimeSeriesSampler.series()/rate_series() can
+            # chart a single tenant counter by key.
             registry.probe(f"{prefix}.tenants", self.tenants.snapshot)
+            registry.probe(f"{prefix}.tenant", self.tenants.snapshot_by_id)
 
     # -- debug/validation --------------------------------------------------------------------
 

@@ -25,7 +25,14 @@ This package generalises that story to *all* the reproduction's stacks:
   JSON the moment a violation is recorded.
 * :mod:`repro.obs.tail` — tail forensics: joins p99/p99.9 span trees
   with the time-series windows they overlap, attributing each slow
-  request to the concurrent system state.
+  request to the concurrent system state — grouped by (host, tenant)
+  when the Lauberhorn demux tags span origins.
+* :mod:`repro.obs.slo` — per-tenant/per-service SLOs in simulated
+  time: error-budget ledgers and multi-window burn-rate alerts fed
+  from root-span completions and sampler windows.
+* :mod:`repro.obs.flame` — exact simulated-ns flamegraph folding of
+  span trees (collapsed-stack + speedscope exporters) and a host-CPU
+  slice profiler over the engine run loop.
 * :mod:`repro.obs.instrument` — one-call arming of a
   :class:`~repro.experiments.testbed.Testbed`.
 
@@ -42,11 +49,26 @@ from .export import (
     render_stage_summary,
     validate_chrome_trace,
 )
+from .flame import (
+    FlameProfile,
+    HostCpuProfiler,
+    diff_stacks,
+    fold_spans,
+    render_collapsed,
+    speedscope_json,
+    validate_speedscope,
+)
 from .flight import FlightRecorder
 from .instrument import arm_flight, arm_testbed, bind_testbed_metrics
 from .metrics import REGISTRY, Counter, Gauge, MetricsCollision, MetricsRegistry
+from .slo import SLOAlert, SLOSpec, SLOTracker
 from .spans import Span, SpanRecorder, public_meta
-from .tail import render_tail_report, slow_roots, tail_report
+from .tail import (
+    render_tail_report,
+    slow_roots,
+    slow_roots_by_group,
+    tail_report,
+)
 from .timeseries import TimeSeriesSampler, Window
 
 __all__ = [
@@ -61,7 +83,18 @@ __all__ = [
     "TimeSeriesSampler",
     "Window",
     "FlightRecorder",
+    "SLOSpec",
+    "SLOAlert",
+    "SLOTracker",
+    "FlameProfile",
+    "HostCpuProfiler",
+    "fold_spans",
+    "diff_stacks",
+    "render_collapsed",
+    "speedscope_json",
+    "validate_speedscope",
     "slow_roots",
+    "slow_roots_by_group",
     "tail_report",
     "render_tail_report",
     "chrome_trace_events",

@@ -37,6 +37,9 @@ def arm_testbed(bed, recorder: Optional[SpanRecorder] = None) -> SpanRecorder:
             client.obs = recorder
         for host in bed.hosts:
             host.nic.obs = recorder
+            # label matches the host's metrics namespace (host<i>.*),
+            # so span origin tags join against the right state rows
+            host.nic.obs_host = f"host{host.index}"
             if host.netstack is not None:
                 host.netstack.obs = recorder
         return recorder

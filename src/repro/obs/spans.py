@@ -116,6 +116,15 @@ class SpanRecorder:
         #: span opens/closes also land in the flight ring (one ``is
         #: None`` test per span event, host-side only)
         self.flight = None
+        #: optional :class:`repro.obs.slo.SLOTracker`; when set, root
+        #: span opens/closes feed its error-budget ledgers (same one
+        #: ``is None`` convention, host-side only)
+        self.slo = None
+        #: when True, the Lauberhorn demux annotates each root span
+        #: with the serving (host, tenant, service) via
+        #: :meth:`annotate`.  Off by default so pre-existing armed
+        #: artifacts (and their golden digests) are byte-identical.
+        self.tag_origin = False
 
     # -- creation -------------------------------------------------------------
 
@@ -138,8 +147,12 @@ class SpanRecorder:
         """Open the root span of a fresh trace (one per request)."""
         trace_id = self._next_trace_id
         self._next_trace_id += 1
-        return self._new(trace_id, None, name, layer, self.sim.now, None,
+        span = self._new(trace_id, None, name, layer, self.sim.now, None,
                          fields)
+        slo = self.slo
+        if slo is not None:
+            slo.note_root_start(span)
+        return span
 
     def start(self, name: str, layer: str, ctx: tuple[int, int],
               **fields: Any) -> Span:
@@ -160,6 +173,9 @@ class SpanRecorder:
             flight.note("span.close", name=span.name, layer=span.layer,
                         trace_id=span.trace_id, span_id=span.span_id,
                         duration_ns=span.duration_ns)
+        slo = self.slo
+        if slo is not None and span.parent_id is None:
+            slo.observe_root(span)
         self._mirror(span)
         return span.duration_ns
 
@@ -171,6 +187,19 @@ class SpanRecorder:
                          fields)
         self._mirror(span)
         return span
+
+    def annotate(self, ctx: tuple[int, int], **fields: Any) -> None:
+        """Attach fields to the span addressed by ``ctx``.
+
+        Used by the Lauberhorn demux (when :attr:`tag_origin` is on)
+        to stamp the *root* span with the serving host, the tenant
+        resolved from the service, and the service name — the root's
+        span id is exactly what rides in ``Frame.meta["obs"]``.  Pure
+        bookkeeping: never touches the simulator.
+        """
+        span = self._by_id.get(ctx[1])
+        if span is not None:
+            span.fields.update(fields)
 
     def _mirror(self, span: Span) -> None:
         tracer = self.tracer

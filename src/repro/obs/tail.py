@@ -23,18 +23,32 @@ the simulator.
 
 from __future__ import annotations
 
+import re
 from typing import Any, Iterable, Optional
 
-__all__ = ["STATE_PATTERNS", "slow_roots", "tail_report",
-           "render_tail_report"]
+__all__ = ["STATE_PATTERNS", "slow_roots", "slow_roots_by_group",
+           "tail_report", "render_tail_report"]
 
 #: snapshot-key substrings that count as "concurrent system state" in
 #: the per-request join: run-queue depth, ring/backlog occupancy,
-#: socket queues, idle-core count, Tryagain and fault activity.
+#: socket queues, idle-core count, Tryagain/fault activity, and — when
+#: a tenant table is attached — the tenancy ledger (policing drops,
+#: admissions, DWRR backlog and held CONTROL lines).
 STATE_PATTERNS = (
     "runnable", "runq", ".depth", "backlog", "queue", "idle_cores",
     "tryagain", "fault", "drop", "stall",
+    "rate_dropped", "admitted", "queued_now", "held_now",
 )
+
+#: fleet metric namespaces are ``host<i>.component.metric``; requests
+#: annotated with a serving host join only their own host's state
+_HOST_PREFIX = re.compile(r"^(host\d+)\.")
+
+
+def metric_host(name: str) -> Optional[str]:
+    """The ``host<i>`` namespace owning a metric, or None if unscoped."""
+    match = _HOST_PREFIX.match(name)
+    return match.group(1) if match else None
 
 
 def _percentile_threshold(values: list[float], quantile: float) -> float:
@@ -59,16 +73,42 @@ def slow_roots(recorder, quantile: float = 0.999) -> list:
     return slow
 
 
+def slow_roots_by_group(recorder, quantile: float = 0.999,
+                        ) -> dict[tuple[str, str], list]:
+    """:func:`slow_roots` bucketed by the ``(host, tenant)`` labels.
+
+    Roots without origin annotation (single-host, untenanted runs)
+    land under ``("-", "-")`` — the report shape is uniform whether or
+    not demux tagging was on.
+    """
+    grouped: dict[tuple[str, str], list] = {}
+    for root in slow_roots(recorder, quantile):
+        key = (root.fields.get("host", "-"), root.fields.get("tenant", "-"))
+        grouped.setdefault(key, []).append(root)
+    return grouped
+
+
 def _matches(name: str, patterns: Iterable[str]) -> bool:
     return any(pattern in name for pattern in patterns)
 
 
-def _state_over(windows, patterns) -> dict[str, dict[str, float]]:
-    """``{metric: {min,mean,max}}`` for state keys across windows."""
+def _state_over(windows, patterns,
+                host: Optional[str] = None) -> dict[str, dict[str, float]]:
+    """``{metric: {min,mean,max}}`` for state keys across windows.
+
+    With ``host`` given, metrics living in *another* host's fleet
+    namespace are excluded from the join — a slow request on host2
+    should not be explained by host5's run queue.  Unscoped metrics
+    (shared switches, clients, single-host runs) always join.
+    """
     samples: dict[str, list[float]] = {}
     for window in windows:
         for name, value in window.values.items():
             if _matches(name, patterns):
+                if host is not None:
+                    owner = metric_host(name)
+                    if owner is not None and owner != host:
+                        continue
                 samples.setdefault(name, []).append(value)
     return {
         name: {
@@ -104,6 +144,7 @@ def tail_report(
     by_trace = recorder.traces()
 
     requests = []
+    tagged = False
     for root in slow[:max_requests]:
         windows = sampler.overlapping(root.start_ns, root.end_ns)
         stages: dict[str, float] = {}
@@ -111,6 +152,8 @@ def tail_report(
             if span is not root and span.finished:
                 stages[span.name] = (
                     stages.get(span.name, 0.0) + span.duration_ns)
+        host = root.fields.get("host")
+        tenant = root.fields.get("tenant")
         record: dict[str, Any] = {
             "trace_id": root.trace_id,
             "start_ns": root.start_ns,
@@ -119,14 +162,22 @@ def tail_report(
             "stages": stages,
             "window_indices": [w.index for w in windows],
             "windows_missing": not windows,
-            "state": _state_over(windows, patterns),
+            "state": _state_over(windows, patterns, host),
         }
+        # origin keys appear only when the demux annotated the root
+        # (tag_origin), so historical payloads are byte-identical
+        if host is not None:
+            record["host"] = host
+            tagged = True
+        if tenant is not None:
+            record["tenant"] = tenant
+            tagged = True
         if flight is not None:
             record["flight"] = flight.events_between(
                 root.start_ns, root.end_ns)
         requests.append(record)
 
-    return {
+    report: dict[str, Any] = {
         "quantile": quantile,
         "n_requests": len(roots),
         "threshold_ns": (_percentile_threshold(durations, quantile)
@@ -135,6 +186,20 @@ def tail_report(
         "truncated": truncated,
         "requests": requests,
     }
+    if tagged:
+        # (host, tenant) attribution over *all* slow roots, not just
+        # the truncated top-N records
+        groups: dict[str, dict[str, float]] = {}
+        for root in slow:
+            key = (f"{root.fields.get('host', '-')}/"
+                   f"{root.fields.get('tenant', '-')}")
+            bucket = groups.setdefault(
+                key, {"n_slow": 0, "worst_ns": 0.0, "total_ns": 0.0})
+            bucket["n_slow"] += 1
+            bucket["worst_ns"] = max(bucket["worst_ns"], root.duration_ns)
+            bucket["total_ns"] += root.duration_ns
+        report["groups"] = dict(sorted(groups.items()))
+    return report
 
 
 def render_tail_report(report: dict, title: str = "tail") -> str:
@@ -144,10 +209,21 @@ def render_tail_report(report: dict, title: str = "tail") -> str:
         f"({report['n_slow']}/{report['n_requests']} requests at or above "
         f"{report['threshold_ns']:.0f} ns)"
     ]
+    groups = report.get("groups")
+    if groups:
+        for key, bucket in groups.items():
+            lines.append(
+                f"  [{key}] {bucket['n_slow']} slow, "
+                f"worst {bucket['worst_ns']:.0f} ns")
     for record in report["requests"]:
+        origin = ""
+        if "host" in record or "tenant" in record:
+            origin = (f" ({record.get('host', '-')}/"
+                      f"{record.get('tenant', '-')})")
         lines.append(
             f"  trace {record['trace_id']}: {record['duration_ns']:.0f} ns "
-            f"[{record['start_ns']:.0f} .. {record['end_ns']:.0f}]")
+            f"[{record['start_ns']:.0f} .. {record['end_ns']:.0f}]"
+            f"{origin}")
         stages = sorted(record["stages"].items(),
                         key=lambda item: -item[1])
         for name, duration in stages[:6]:

@@ -199,3 +199,17 @@ class TenantTable:
             for name in _STAT_FIELDS:
                 out[f"{spec.name}.{name}"] = getattr(stats, name)
         return out
+
+    def snapshot_by_id(self) -> Dict[str, float]:
+        """Like :meth:`snapshot` but keyed ``"<tenant_id>.<counter>"``.
+
+        Tenant ids are stable across renames and join-order, so these
+        are the rows chartable tooling (sampler ``series()`` /
+        ``rate_series()``) should key on.
+        """
+        out: Dict[str, float] = {}
+        for spec in self._tenants.values():
+            stats = self.stats[spec.tenant_id]
+            for name in _STAT_FIELDS:
+                out[f"{spec.tenant_id}.{name}"] = getattr(stats, name)
+        return out

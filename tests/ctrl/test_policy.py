@@ -3,7 +3,8 @@
 import pytest
 
 from repro.ctrl import AdmissionGate, Actuators, PolicySpec, SignalView
-from repro.ctrl.policy import POLICIES, BackoffPolicy, StaticPolicy, TunerPolicy
+from repro.ctrl.policy import (POLICIES, BackoffPolicy, SloGuardPolicy,
+                               StaticPolicy, TunerPolicy)
 from repro.obs.timeseries import Window
 
 
@@ -77,10 +78,13 @@ def test_spec_rejects_unknown_policy_and_bad_entries():
 
 
 def test_registry_builds_every_policy():
-    assert set(POLICIES) == {"none", "static", "backoff", "tuner"}
+    assert set(POLICIES) == {"none", "static", "backoff", "tuner",
+                             "slo_guard"}
     assert isinstance(PolicySpec.from_spec("static").build(), StaticPolicy)
     assert isinstance(PolicySpec.from_spec("backoff").build(), BackoffPolicy)
     assert isinstance(PolicySpec.from_spec("tuner").build(), TunerPolicy)
+    assert isinstance(PolicySpec.from_spec("slo_guard").build(),
+                      SloGuardPolicy)
 
 
 # -- SignalView ---------------------------------------------------------

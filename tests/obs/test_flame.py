@@ -1,0 +1,185 @@
+"""Flame folding: exactness, grouping, exporters, host-CPU profiler."""
+
+import pytest
+
+from repro.obs.flame import (
+    HostCpuProfiler,
+    diff_stacks,
+    fold_spans,
+    render_collapsed,
+    speedscope_json,
+    validate_speedscope,
+)
+from repro.obs.spans import SpanRecorder
+from repro.sim.engine import Simulator
+
+
+def _recorder():
+    return SpanRecorder(Simulator())
+
+
+def _trace(rec, trace_id, start, end, splits, **fields):
+    """One root spanning [start, end] with child spans at ``splits``
+    (list of (name, start, end) triples)."""
+    root = rec.record("rpc", "client", (trace_id, None), start, end)
+    if fields:
+        root.fields.update(fields)
+    for name, s, e in splits:
+        rec.record(name, "nic", (trace_id, root.span_id), s, e)
+    return root
+
+
+# -- folding ------------------------------------------------------------------
+
+
+def test_self_time_telescopes_to_root_duration_exactly():
+    rec = _recorder()
+    # awkward floats on purpose: exactness must not depend on niceness
+    _trace(rec, 1, 0.1, 1000.3,
+           [("nic.rx", 10.7, 300.9), ("handler", 300.9, 900.1)])
+    profile = fold_spans(rec)
+    (group,) = profile.groups()
+    assert group == "-/-"           # untagged runs fold under the dash
+    assert profile.self_sum_ns(group) == profile.root_sum_ns(group)
+    assert profile.root_sum_ns(group) == 1000.3 - 0.1
+    assert profile.check_exact() == []
+    # three stacks: root self, root;nic.rx, root;handler
+    stacks = profile.stacks(group)
+    assert set(stacks) == {("rpc",), ("rpc", "nic.rx"), ("rpc", "handler")}
+    assert stacks[("rpc", "nic.rx")] == 300.9 - 10.7
+
+
+def test_nested_children_attribute_to_nested_stacks():
+    rec = _recorder()
+    root = rec.record("rpc", "client", (1, None), 0.0, 100.0)
+    mid = rec.record("nic.rx", "nic", (1, root.span_id), 10.0, 60.0)
+    rec.record("crypto", "nic", (1, mid.span_id), 20.0, 50.0)
+    profile = fold_spans(rec)
+    stacks = profile.stacks("-/-")
+    assert stacks[("rpc", "nic.rx", "crypto")] == 30.0
+    assert stacks[("rpc", "nic.rx")] == 20.0
+    assert stacks[("rpc",)] == 50.0
+
+
+def test_overrunning_children_yield_negative_self_not_clamped():
+    rec = _recorder()
+    # children sum to 120 ns inside a 100 ns parent
+    _trace(rec, 1, 0.0, 100.0,
+           [("a", 0.0, 60.0), ("b", 40.0, 100.0)])
+    profile = fold_spans(rec)
+    assert profile.negative_self == 1
+    stacks = profile.stacks("-/-")
+    assert stacks[("rpc",)] == -20.0
+    # the identity still holds *because* nothing was clamped
+    assert profile.self_sum_ns("-/-") == profile.root_sum_ns("-/-")
+
+
+def test_grouping_by_host_and_tenant_fields():
+    rec = _recorder()
+    _trace(rec, 1, 0.0, 100.0, [], host="host0", tenant="victim")
+    _trace(rec, 2, 0.0, 200.0, [], host="host0", tenant="aggressor")
+    _trace(rec, 3, 0.0, 300.0, [], host="host1", tenant="victim")
+    _trace(rec, 4, 0.0, 400.0, [])          # untagged
+    profile = fold_spans(rec)
+    assert profile.groups() == ["-/-", "host0/aggressor",
+                                "host0/victim", "host1/victim"]
+    assert profile.n_traces("host0/victim") == 1
+    for group in profile.groups():
+        assert profile.self_sum_ns(group) == profile.root_sum_ns(group)
+
+
+def test_unfinished_root_skipped_unfinished_child_stays_in_parent():
+    rec = _recorder()
+    rec.start_trace("rpc", "client")         # never finished: no root sum
+    root = rec.record("rpc", "client", (99, None), 0.0, 100.0)
+    rec.start("nic.rx", "nic", (99, root.span_id))  # open child
+    profile = fold_spans(rec)
+    (group,) = profile.groups()
+    assert profile.n_traces(group) == 1
+    # the open child's time stays in the root's self bucket
+    assert profile.stacks(group)[("rpc",)] == 100.0
+
+
+def test_diff_stacks_signs_and_keys():
+    rec = _recorder()
+    _trace(rec, 1, 0.0, 100.0, [("nic.rx", 0.0, 80.0)],
+           host="h", tenant="victim")
+    _trace(rec, 2, 0.0, 50.0, [("nic.rx", 0.0, 10.0)],
+           host="h", tenant="aggressor")
+    profile = fold_spans(rec)
+    diff = diff_stacks(profile, "h/victim", "h/aggressor")
+    assert diff["rpc;nic.rx"] == 70.0       # victim spent more in rx
+    assert diff["rpc"] == (100.0 - 80.0) - (50.0 - 10.0)
+
+
+# -- exporters ----------------------------------------------------------------
+
+
+def _profile():
+    rec = _recorder()
+    _trace(rec, 1, 0.0, 100.0, [("nic.rx", 10.0, 40.0)],
+           host="host0", tenant="victim")
+    _trace(rec, 2, 0.0, 900.0, [("handler", 100.0, 800.0)],
+           host="host0", tenant="aggressor")
+    return fold_spans(rec)
+
+
+def test_render_collapsed_folds_group_into_frames():
+    text = render_collapsed(_profile())
+    lines = text.splitlines()
+    assert "host0;victim;rpc;nic.rx 30.000" in lines
+    assert "host0;aggressor;rpc;handler 700.000" in lines
+    # every line is "frames weight"
+    for line in lines:
+        frames, weight = line.rsplit(" ", 1)
+        assert frames and float(weight) is not None
+
+
+def test_speedscope_export_validates_and_is_exact():
+    profile = _profile()
+    payload = speedscope_json(profile)
+    validate_speedscope(payload)            # must not raise
+    by_name = {p["name"]: p for p in payload["profiles"]}
+    assert set(by_name) == {"host0/victim", "host0/aggressor"}
+    victim = by_name["host0/victim"]
+    assert victim["endValue"] == sum(victim["weights"])
+    assert victim["endValue"] == profile.root_sum_ns("host0/victim")
+
+
+def test_validate_speedscope_rejects_corruption():
+    payload = speedscope_json(_profile())
+    bad = dict(payload, **{"$schema": "nope"})
+    with pytest.raises(ValueError, match="schema"):
+        validate_speedscope(bad)
+    bad = dict(payload)
+    bad["profiles"] = [dict(payload["profiles"][0], unit="seconds")]
+    with pytest.raises(ValueError, match="unit"):
+        validate_speedscope(bad)
+    bad = dict(payload)
+    bad["profiles"] = [dict(payload["profiles"][0],
+                            samples=[[999999]])]
+    with pytest.raises(ValueError):
+        validate_speedscope(bad)
+
+
+# -- host-CPU profiler --------------------------------------------------------
+
+
+def test_host_cpu_profiler_slices_and_exports():
+    sim = Simulator()
+
+    def ticker():
+        while True:
+            yield sim.timeout(10.0)
+
+    sim.process(ticker())
+    profiler = HostCpuProfiler(sim, n_slices=8)
+    profiler.run(until_ns=1000.0)
+    assert len(profiler.slices) == 8
+    assert sim.now == 1000.0
+    assert profiler.events_per_sec() >= 0.0
+    validate_speedscope(profiler.to_speedscope())
+    with pytest.raises(ValueError, match="ahead"):
+        profiler.run(until_ns=500.0)
+    with pytest.raises(ValueError, match="slice"):
+        HostCpuProfiler(sim, n_slices=0)

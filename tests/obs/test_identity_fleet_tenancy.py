@@ -1,0 +1,178 @@
+"""Arming never perturbs a run: fleet (E23) and tenancy (E24) cells.
+
+E20 proved armed-vs-unarmed byte-identity for the single-host obs
+stack; these tests extend the proof to the two subsystems built since:
+a 2-ToR fleet and a tenanted Lauberhorn host under a (small) noisy
+neighbour — each driven twice, once bare and once with the full obs
+stack armed (spans with origin tagging, metrics, sampler, flight,
+SLO tracker), asserting the victim's RTT stream is *exactly* equal.
+"""
+
+import random
+
+from repro.fleet import HostSpec, build_fleet
+from repro.net.topology import TopologySpec
+from repro.obs import (
+    FlightRecorder,
+    SLOSpec,
+    SLOTracker,
+    TimeSeriesSampler,
+    arm_flight,
+    arm_testbed,
+    bind_testbed_metrics,
+    fold_spans,
+    tail_report,
+)
+from repro.sim.clock import MS
+from repro.tenancy import TenantTable
+from repro.workloads.distributions import args_for_payload
+from repro.workloads.generator import OpenLoopGenerator, ServiceMix, Target
+from repro.experiments.testbed import build_lauberhorn_testbed, deploy_service
+
+HORIZON_NS = 8 * MS
+N_VICTIM = 60
+
+
+def _slo_specs():
+    return [SLOSpec(name="victim", tenant="victim",
+                    latency_threshold_ns=50_000.0, latency_target=0.95,
+                    fast_window_ns=500_000.0, slow_window_ns=2 * MS)]
+
+
+def _arm(bed_or_fleet, horizon_ns):
+    recorder = arm_testbed(bed_or_fleet)
+    recorder.tag_origin = True
+    flight = FlightRecorder(bed_or_fleet.sim, capacity=256)
+    arm_flight(bed_or_fleet, flight, recorder=recorder)
+    registry = bind_testbed_metrics(bed_or_fleet)
+    sampler = TimeSeriesSampler(bed_or_fleet.sim, registry,
+                                window_ns=250_000.0, max_windows=64)
+    tracker = SLOTracker(bed_or_fleet.sim, _slo_specs(), flight=flight)
+    tracker.arm(recorder=recorder, sampler=sampler, registry=registry)
+    sampler.start(horizon_ns)
+    return recorder, registry, sampler, tracker, flight
+
+
+# -- tenancy (E24-shaped) -----------------------------------------------------
+
+
+def _drive_tenancy(armed: bool):
+    bed = build_lauberhorn_testbed(n_clients=2, seed=0,
+                                   preempt_on_backlog=True)
+    table = TenantTable()
+    table.create("victim", weight=2.0)
+    table.create("aggressor", weight=1.0, rate_limit_rps=50_000.0,
+                 rate_burst=16.0)
+    bed.nic.attach_tenants(table)
+    victim_service, victim_method = deploy_service(
+        bed, "lauberhorn", name="victim", udp_port=9000,
+        cost_instructions=500, core=0, tenant="victim")
+    aggr_service, aggr_method = deploy_service(
+        bed, "lauberhorn", name="aggr", udp_port=9100,
+        cost_instructions=2000, core=1, tenant="aggressor", encrypted=True)
+
+    obs = _arm(bed, HORIZON_NS) if armed else None
+
+    def aggressor():
+        rng = random.Random(17)
+        args = args_for_payload(1024)
+        for _ in range(200):
+            bed.clients[1].send_request(
+                bed.server_mac, bed.server_ip, aggr_service.udp_port,
+                aggr_service.service_id, aggr_method.method_id, args)
+            yield bed.sim.timeout(rng.expovariate(1.0) * 2_000.0)
+
+    bed.sim.process(aggressor())
+    victim = OpenLoopGenerator(
+        bed.clients[0], ServiceMix([Target(victim_service, victim_method)]),
+        bed.server_mac, bed.server_ip, random.Random(1))
+    bed.sim.process(victim.run(50_000.0, N_VICTIM))
+    bed.sim.run(until=HORIZON_NS)
+    return list(victim.recorder.samples), obs
+
+
+def test_armed_tenancy_cell_is_byte_identical():
+    base, _ = _drive_tenancy(armed=False)
+    armed, obs = _drive_tenancy(armed=True)
+    assert base == armed
+    assert len(base) == N_VICTIM
+
+
+def test_tenancy_arming_tags_spans_and_exports_tenant_rows():
+    _, (recorder, registry, sampler, tracker, flight) = _drive_tenancy(
+        armed=True)
+    tenants = {root.fields.get("tenant") for root in recorder.roots()
+               if root.finished}
+    assert {"victim", "aggressor"} <= tenants
+    # both tenant metric views: nested by name and flat by id
+    snapshot = registry.snapshot()
+    assert "nic.tenants.victim.admitted" in snapshot
+    assert "nic.tenants.aggressor.rate_dropped" in snapshot
+    assert "nic.tenant.1.admitted" in snapshot   # ids are 1-based
+    assert "nic.tenant.2.admitted" in snapshot
+    assert (snapshot["nic.tenant.1.admitted"]
+            == snapshot["nic.tenants.victim.admitted"])
+    # the SLO ledger saw exactly the victim's completions
+    assert tracker.report()["specs"]["victim"]["total"] == N_VICTIM
+    # flame folding stays exact on tenant-tagged trees
+    profile = fold_spans(recorder)
+    assert "host0/victim" in profile.groups()
+    for group in profile.groups():
+        assert profile.self_sum_ns(group) == profile.root_sum_ns(group)
+    # tail records carry (host, tenant) origin and the group rollup
+    sampler.finish()
+    report = tail_report(recorder, sampler, flight=flight, quantile=0.99)
+    assert report["groups"]
+    assert all("/" in key for key in report["groups"])
+
+
+# -- fleet (E23-shaped) -------------------------------------------------------
+
+
+FLEET_HORIZON_NS = 10 * MS
+N_FLEET = 40
+
+
+def _drive_fleet(armed: bool):
+    fleet = build_fleet(
+        [HostSpec(stack="lauberhorn", tor=0),
+         HostSpec(stack="lauberhorn", tor=1)],
+        topo=TopologySpec(n_tors=2),
+        n_clients=1,
+        seed=0,
+    )
+    fleet.deploy(name="svc", udp_port=9000, cost_instructions=500)
+    obs = _arm(fleet, FLEET_HORIZON_NS) if armed else None
+
+    rtts: list = []
+
+    def loop():
+        rng = random.Random(1)
+        for k in range(N_FLEET):
+            event = fleet.send(fleet.clients[0], 41000 + (k % 8), [k])
+            event.add_callback(lambda ev: rtts.append(ev.value.rtt_ns))
+            yield fleet.sim.timeout(rng.expovariate(1.0) * 20_000.0)
+
+    fleet.sim.process(loop())
+    fleet.run(until=FLEET_HORIZON_NS)
+    return rtts, obs
+
+
+def test_armed_fleet_cell_is_byte_identical():
+    base, _ = _drive_fleet(armed=False)
+    armed, obs = _drive_fleet(armed=True)
+    assert base == armed
+    assert len(base) == N_FLEET
+
+
+def test_fleet_arming_tags_span_hosts():
+    _, (recorder, registry, sampler, tracker, flight) = _drive_fleet(
+        armed=True)
+    hosts = {root.fields.get("host") for root in recorder.roots()
+             if root.finished}
+    # ECMP spreads the 8 flows over both replicas
+    assert hosts == {"host0", "host1"}
+    profile = fold_spans(recorder)
+    assert set(profile.groups()) <= {"host0/-", "host1/-"}
+    for group in profile.groups():
+        assert profile.self_sum_ns(group) == profile.root_sum_ns(group)

@@ -7,6 +7,7 @@ from repro.obs.tail import (
     STATE_PATTERNS,
     render_tail_report,
     slow_roots,
+    slow_roots_by_group,
     tail_report,
 )
 from repro.obs.timeseries import TimeSeriesSampler
@@ -119,3 +120,74 @@ def test_state_patterns_cover_the_interesting_namespaces():
     # The join keys must keep matching what the components bind.
     for fragment in ("runq", "backlog", "tryagain", "fault", "idle_cores"):
         assert fragment in STATE_PATTERNS
+
+
+# -- (host, tenant) origin attribution ---------------------------------------
+
+
+def _tagged_scene():
+    """Two hosts' requests, fleet-namespaced metrics, one slow victim."""
+    sim = Simulator()
+    recorder = SpanRecorder(sim)
+    registry = MetricsRegistry()
+    depth0 = registry.gauge("host0.server.runq.depth")
+    depth1 = registry.gauge("host1.server.runq.depth")
+    sampler = TimeSeriesSampler(sim, registry, window_ns=100.0,
+                                max_windows=64)
+
+    def workload():
+        for index in range(10):
+            start = sim.now
+            slow = index == 7
+            duration = 500.0 if slow else 50.0
+            depth0.set(9 if slow else 0)
+            depth1.set(1)
+            yield sim.timeout(duration)
+            root = recorder.record("rpc", "app", (index + 1, None),
+                                   start, sim.now)
+            root.fields["host"] = "host0" if slow else "host1"
+            root.fields["tenant"] = "victim" if slow else "bystander"
+
+    sim.process(workload())
+    sampler.start(2000.0)
+    sim.run(until=2000.0)
+    return recorder, sampler
+
+
+def test_slow_roots_by_group_buckets_on_origin():
+    recorder, sampler = _tagged_scene()
+    grouped = slow_roots_by_group(recorder, quantile=0.0)
+    assert set(grouped) == {("host0", "victim"), ("host1", "bystander")}
+    assert len(grouped[("host0", "victim")]) == 1
+    assert grouped[("host0", "victim")][0].duration_ns == 500.0
+
+
+def test_untagged_roots_bucket_under_the_dash():
+    recorder, sampler, flight = _scene()
+    grouped = slow_roots_by_group(recorder, quantile=0.999)
+    assert set(grouped) == {("-", "-")}
+
+
+def test_tail_report_state_join_is_host_scoped():
+    recorder, sampler = _tagged_scene()
+    report = tail_report(recorder, sampler, quantile=0.999)
+    (record,) = report["requests"]
+    assert record["host"] == "host0"
+    assert record["tenant"] == "victim"
+    # the slow host0 request joins host0's queue, never host1's
+    assert record["state"]["host0.server.runq.depth"]["max"] == 9
+    assert "host1.server.runq.depth" not in record["state"]
+    # the rollup covers all slow roots, keyed host/tenant
+    assert report["groups"]["host0/victim"]["n_slow"] == 1
+    assert report["groups"]["host0/victim"]["worst_ns"] == 500.0
+    text = render_tail_report(report)
+    assert "(host0/victim)" in text
+    assert "[host0/victim]" in text
+
+
+def test_untagged_report_has_no_origin_keys():
+    recorder, sampler, flight = _scene()
+    report = tail_report(recorder, sampler, quantile=0.999)
+    assert "groups" not in report       # byte-identical to historical
+    (record,) = report["requests"]
+    assert "host" not in record and "tenant" not in record

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Render the E21 timeline artifact as a self-contained HTML dashboard.
+"""Render the E21/E25 observability artifacts as one HTML dashboard.
 
 Reads ``results/e21_timeline.json`` (written by
 ``python -m repro.experiments.run_all e21`` or ``make run-e21``) and
@@ -13,10 +13,16 @@ listing or an air-gapped machine:
 * the flight-recorder post-mortem: trigger, event-kind counts, and
   the final events before the (deliberately injected) violation.
 
+When ``results/e25_slo.json`` is present too (``make run-e25``), a
+tenant-SLO pane is appended: the per-cell error-budget/burn-rate
+table (alert vs exhaustion instants and the lead between them) and
+inline per-(host, tenant) flamegraph SVGs folded from the exact
+simulated-ns stacks the artifact carries.
+
 Usage::
 
     python tools/dashboard.py --in results/e21_timeline.json \
-        --out results/e21_dashboard.html
+        --slo-in results/e25_slo.json --out results/e21_dashboard.html
     python tools/dashboard.py --validate          # schema check + exit
     python tools/dashboard.py --text              # terminal summary too
 """
@@ -35,6 +41,10 @@ sys.path.insert(0, str(REPO / "src"))
 from repro.experiments.e21_timeline import (  # noqa: E402
     TIMELINE_ARTIFACT,
     validate_timeline_payload,
+)
+from repro.experiments.e25_slo import (  # noqa: E402
+    SLO_ARTIFACT,
+    validate_slo_payload,
 )
 from repro.obs.tail import STATE_PATTERNS, render_tail_report  # noqa: E402
 
@@ -204,10 +214,126 @@ def _stack_section(stack: str, entry: dict) -> str:
         f"{_flight_table(entry)}")
 
 
-def build_dashboard(payload: dict) -> str:
-    """The full HTML document for one E21 artifact payload."""
+# -- E25: tenant SLOs + flamegraphs -------------------------------------------
+
+#: flamegraph geometry (pure inline SVG, one rect per stack frame)
+_FLAME_WIDTH = 640
+_FLAME_ROW = 17
+_FLAME_COLORS = ("#e4572e", "#f3a712", "#4361ee", "#0a7d36", "#7b2d8b")
+
+
+def _flame_svg(stacks: dict[str, float], width: int = _FLAME_WIDTH) -> str:
+    """Icicle-layout flamegraph from collapsed ``"a;b;c" -> ns`` stacks.
+
+    Weights are *self* times, so each frame's width is its self time
+    plus everything folded beneath it — the standard flamegraph sum.
+    """
+    totals: dict[tuple[str, ...], float] = {}
+    for key, weight in stacks.items():
+        frames = tuple(key.split(";"))
+        # negative self (overlapping children) still sums correctly,
+        # but a frame is never drawn wider than its parent
+        for depth in range(1, len(frames) + 1):
+            prefix = frames[:depth]
+            totals[prefix] = totals.get(prefix, 0.0) + weight
+    if not totals:
+        return "<svg width='1' height='1'></svg>"
+    roots = sorted({k[:1] for k in totals})
+    grand = sum(totals[r] for r in roots) or 1.0
+    depth_max = max(len(k) for k in totals)
+    rects = []
+
+    def emit(prefix: tuple[str, ...], x: float, avail: float) -> None:
+        w = totals[prefix] / grand * width
+        w = max(0.0, min(w, avail))
+        if w < 1.0:
+            return
+        depth = len(prefix)
+        color = _FLAME_COLORS[(hash(prefix[-1]) & 0xFFFF)
+                              % len(_FLAME_COLORS)]
+        label = html.escape(prefix[-1]) if w > 40 else ""
+        rects.append(
+            f"<g><rect x='{x:.1f}' y='{(depth - 1) * _FLAME_ROW}' "
+            f"width='{w:.1f}' height='{_FLAME_ROW - 1}' fill='{color}' "
+            f"fill-opacity='0.75'><title>{html.escape(';'.join(prefix))} "
+            f"— {totals[prefix]:.1f} ns</title></rect>"
+            f"<text x='{x + 3:.1f}' y='{(depth - 1) * _FLAME_ROW + 12}' "
+            f"font-size='10' fill='#fff'>{label}</text></g>")
+        child_x = x
+        children = sorted(k for k in totals
+                          if len(k) == depth + 1 and k[:depth] == prefix)
+        for child in children:
+            cw = totals[child] / grand * width
+            emit(child, child_x, min(cw, x + w - child_x))
+            child_x += cw
+
+    x = 0.0
+    for root in roots:
+        emit(root, x, width - x)
+        x += totals[root] / grand * width
+    height = depth_max * _FLAME_ROW
+    return (f"<svg width='{width}' height='{height}' "
+            f"font-family='ui-monospace,monospace'>{''.join(rects)}</svg>")
+
+
+def _slo_cell_row(cell: dict) -> str:
+    victim = cell.get("slo", {}).get("specs", {}).get("victim", {})
+    alert = victim.get("first_alert_ns")
+    exhausted = victim.get("exhausted_ns")
+    lead = victim.get("alert_lead_ns")
+    verdict = ("<span class='bad'>violated</span>" if victim.get("violated")
+               else "<span class='ok'>in budget</span>")
+    identical = {True: "<span class='ok'>yes</span>",
+                 False: "<span class='bad'>NO</span>",
+                 None: "n/a"}[cell.get("identical")]
+    return (
+        f"<tr><td class='mono'>{html.escape(cell['label'])}</td>"
+        f"<td>{victim.get('bad', 0)}/{victim.get('total', 0)}</td>"
+        f"<td>{victim.get('budget_consumed', 0.0):.2f}</td>"
+        f"<td>{_fmt_ns(alert) if alert is not None else '—'}</td>"
+        f"<td>{_fmt_ns(exhausted) if exhausted is not None else '—'}</td>"
+        f"<td>{_fmt_ns(lead) if lead is not None else '—'}</td>"
+        f"<td>{verdict}</td><td>{identical}</td></tr>")
+
+
+def _slo_section(payload: dict) -> str:
+    """The E25 pane: burn-rate table + per-group flamegraphs."""
+    cells = payload["cells"]
+    rows = "".join(_slo_cell_row(cell) for cell in cells)
+    flames = []
+    for cell in cells:
+        if cell.get("interference") != "storm":
+            continue
+        for group, summary in sorted(cell.get("flame", {}).items()):
+            flames.append(
+                f"<h3>{html.escape(cell['label'])} — "
+                f"{html.escape(group)} <span class='summary'>"
+                f"({summary['n_traces']} traces, "
+                f"{_fmt_ns(summary['root_sum_ns'])} total)</span></h3>"
+                f"{_flame_svg(summary['stacks'])}")
+    objectives = payload.get("objectives", {})
+    tight = objectives.get("tight", {})
+    return (
+        "<h2>E25 — tenant SLOs: error budgets, burn-rate alerts &amp; "
+        "flame attribution</h2>"
+        "<p class='summary'>Victim objective per cell (tight: "
+        f"{_fmt_ns(tight.get('latency_threshold_ns', 0))} at "
+        f"{tight.get('latency_target', 0) * 100:g}%): the alert must "
+        "land before the error budget exhausts, never in calm cells. "
+        "Flamegraphs are folded from exact simulated-ns span trees, "
+        "grouped by (host, tenant).</p>"
+        "<table><tr><th>cell</th><th>bad/total</th><th>budget burned</th>"
+        "<th>first alert</th><th>exhausted</th><th>lead</th>"
+        f"<th>verdict</th><th>identical</th></tr>{rows}</table>"
+        f"{''.join(flames)}")
+
+
+def build_dashboard(payload: dict, slo_payload: dict | None = None) -> str:
+    """The full HTML document for one E21 (+ optional E25) payload."""
     sections = "".join(_stack_section(stack, entry)
                        for stack, entry in payload["stacks"].items())
+    if slo_payload is not None:
+        sections += _slo_section(slo_payload)
     return (
         "<!doctype html><html><head><meta charset='utf-8'>"
         "<title>E21 — system timelines</title>"
@@ -225,6 +351,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--in", dest="in_path", default=TIMELINE_ARTIFACT,
                         help=f"artifact path (default {TIMELINE_ARTIFACT})")
+    parser.add_argument("--slo-in", dest="slo_path", default=SLO_ARTIFACT,
+                        help="E25 SLO artifact; pane is skipped when the "
+                             f"file is absent (default {SLO_ARTIFACT})")
     parser.add_argument("--out", default="results/e21_dashboard.html",
                         help="HTML output path")
     parser.add_argument("--validate", action="store_true",
@@ -242,9 +371,18 @@ def main(argv: list[str] | None = None) -> int:
               "`python -m repro.experiments.run_all e21` first")
         return 1
 
+    slo_payload = None
+    try:
+        with open(args.slo_path) as handle:
+            slo_payload = json.load(handle)
+    except FileNotFoundError:
+        pass                            # the SLO pane is optional
+
     if args.validate:
         try:
             validate_timeline_payload(payload)
+            if slo_payload is not None:
+                validate_slo_payload(slo_payload, complete=False)
         except ValueError as error:
             print(f"schema violations: {error}")
             return 1
@@ -255,7 +393,7 @@ def main(argv: list[str] | None = None) -> int:
             print(render_tail_report(entry["tail"], title=stack))
             print()
 
-    document = build_dashboard(payload)
+    document = build_dashboard(payload, slo_payload)
     out = pathlib.Path(args.out)
     if out.parent != pathlib.Path(""):
         out.parent.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Export flamegraph profiles from the E25 artifact (or live host-CPU).
+
+Two modes:
+
+* **artifact** (default) — read ``results/e25_slo.json`` (written by
+  ``make run-e25``) and re-emit the per-(host, tenant) collapsed
+  stacks of one cell as either Brendan-Gregg collapsed text (feed to
+  ``flamegraph.pl`` or https://speedscope.app) or a speedscope JSON
+  file (schema-validated before writing);
+* **--host-cpu** — build a small Lauberhorn testbed, drive it under
+  :class:`repro.obs.flame.HostCpuProfiler`, and export the wall-clock
+  profile of the *simulator itself* (events/sec per simulated phase).
+  Host wall times are nondeterministic by nature: this mode is a
+  reporting tool, never an artifact source.
+
+Usage::
+
+    python tools/flamegraph.py --cell 2t-tight-storm
+    python tools/flamegraph.py --cell fleet-tight-storm \
+        --format speedscope --out storm.speedscope.json
+    python tools/flamegraph.py --list
+    python tools/flamegraph.py --host-cpu --out hostcpu.speedscope.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.experiments.e25_slo import SLO_ARTIFACT  # noqa: E402
+from repro.obs.flame import (  # noqa: E402
+    SPEEDSCOPE_SCHEMA,
+    validate_speedscope,
+)
+
+
+def _load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _cells(payload: dict) -> dict[str, dict]:
+    return {cell["label"]: cell for cell in payload["cells"]}
+
+
+def _collapsed(cell: dict, group: str | None) -> str:
+    """Collapsed-stack text with the group folded in as lead frames."""
+    lines = []
+    for label, summary in sorted(cell["flame"].items()):
+        if group is not None and label != group:
+            continue
+        prefix = label.replace("/", ";")
+        for stack, weight in sorted(summary["stacks"].items()):
+            lines.append(f"{prefix};{stack} {weight:.3f}")
+    return "\n".join(lines)
+
+
+def _speedscope(cell: dict, group: str | None, name: str) -> dict:
+    """Rebuild a speedscope file from the artifact's stored stacks."""
+    frame_index: dict[str, int] = {}
+    frames: list[dict] = []
+
+    def frame_of(frame_name: str) -> int:
+        if frame_name not in frame_index:
+            frame_index[frame_name] = len(frames)
+            frames.append({"name": frame_name})
+        return frame_index[frame_name]
+
+    profiles = []
+    for label, summary in sorted(cell["flame"].items()):
+        if group is not None and label != group:
+            continue
+        samples, weights = [], []
+        for stack, weight in sorted(summary["stacks"].items()):
+            samples.append([frame_of(f) for f in stack.split(";")])
+            weights.append(float(weight))
+        profiles.append({
+            "type": "sampled", "name": label, "unit": "nanoseconds",
+            "startValue": 0.0, "endValue": float(sum(weights)),
+            "samples": samples, "weights": weights,
+        })
+    return {
+        "$schema": SPEEDSCOPE_SCHEMA, "name": name,
+        "exporter": "tools/flamegraph.py", "activeProfileIndex": 0,
+        "shared": {"frames": frames}, "profiles": profiles,
+    }
+
+
+def _host_cpu(horizon_ns: float, n_slices: int) -> dict:
+    from repro.experiments.testbed import (build_lauberhorn_testbed,
+                                           deploy_service)
+    from repro.obs.flame import HostCpuProfiler
+    from repro.workloads.generator import (OpenLoopGenerator, ServiceMix,
+                                           Target)
+    import random
+
+    bed = build_lauberhorn_testbed(n_clients=1, seed=0)
+    service, method = deploy_service(bed, "lauberhorn", name="svc",
+                                     udp_port=9000, cost_instructions=500)
+    gen = OpenLoopGenerator(bed.clients[0],
+                            ServiceMix([Target(service, method)]),
+                            bed.server_mac, bed.server_ip,
+                            random.Random(1))
+    bed.sim.process(gen.run(100_000.0, 10_000))
+    profiler = HostCpuProfiler(bed.sim, n_slices=n_slices)
+    profiler.run(until_ns=horizon_ns)
+    print(f"# {profiler.events_per_sec():.0f} engine events/sec "
+          f"over {len(profiler.slices)} slices", file=sys.stderr)
+    return profiler.to_speedscope()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--in", dest="in_path", default=SLO_ARTIFACT,
+                        help=f"E25 artifact (default {SLO_ARTIFACT})")
+    parser.add_argument("--cell", help="cell label, e.g. 2t-tight-storm")
+    parser.add_argument("--group", help="restrict to one host/tenant "
+                                        "group, e.g. host0/victim")
+    parser.add_argument("--format", choices=("collapsed", "speedscope"),
+                        default="collapsed")
+    parser.add_argument("--out", help="output path (default stdout)")
+    parser.add_argument("--list", action="store_true",
+                        help="list cells and groups, then exit")
+    parser.add_argument("--host-cpu", action="store_true",
+                        help="profile the simulator's own run loop "
+                             "instead of reading an artifact")
+    parser.add_argument("--horizon-ns", type=float, default=5e6,
+                        help="host-cpu mode: simulated horizon")
+    parser.add_argument("--slices", type=int, default=32,
+                        help="host-cpu mode: number of wall-clock slices")
+    args = parser.parse_args(argv)
+
+    if args.host_cpu:
+        payload = _host_cpu(args.horizon_ns, args.slices)
+        validate_speedscope(payload)
+        text = json.dumps(payload, indent=1)
+    else:
+        try:
+            cells = _cells(_load(args.in_path))
+        except FileNotFoundError:
+            print(f"no artifact at {args.in_path} — run `make run-e25` "
+                  "first", file=sys.stderr)
+            return 1
+        if args.list:
+            for label, cell in cells.items():
+                groups = ", ".join(sorted(cell.get("flame", {})))
+                print(f"{label}: {groups or '(no flame groups)'}")
+            return 0
+        if args.cell not in cells:
+            print(f"unknown cell {args.cell!r}; try --list",
+                  file=sys.stderr)
+            return 1
+        cell = cells[args.cell]
+        if args.group is not None and args.group not in cell["flame"]:
+            print(f"unknown group {args.group!r} in {args.cell}; "
+                  f"have {sorted(cell['flame'])}", file=sys.stderr)
+            return 1
+        if args.format == "speedscope":
+            payload = _speedscope(cell, args.group,
+                                  f"e25-{args.cell}")
+            validate_speedscope(payload)
+            text = json.dumps(payload, indent=1)
+        else:
+            text = _collapsed(cell, args.group)
+
+    if args.out:
+        out = pathlib.Path(args.out)
+        if out.parent != pathlib.Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"wrote {args.out}: {len(text)} bytes", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
